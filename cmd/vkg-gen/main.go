@@ -1,0 +1,76 @@
+// Command vkg-gen generates one of the synthetic knowledge-graph datasets
+// (the Freebase / Movie / Amazon stand-ins of DESIGN.md §3) and saves it to
+// a file for vkg-train and vkg-query.
+//
+// Usage:
+//
+//	vkg-gen -dataset movie -out movie.graph
+//	vkg-gen -dataset freebase -scale tiny -out fb.graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vkgraph/internal/kg"
+	"vkgraph/internal/kg/kggen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "movie", "dataset: freebase, movie, or amazon")
+		scale   = flag.String("scale", "full", "dataset scale: tiny or full")
+		out     = flag.String("out", "", "output path (required)")
+		seed    = flag.Int64("seed", 0, "override the generator seed (0 = dataset default)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "vkg-gen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tiny := *scale == "tiny"
+	var g *kg.Graph
+	switch *dataset {
+	case "freebase":
+		cfg := kggen.DefaultFreebaseConfig()
+		if tiny {
+			cfg = kggen.TinyFreebaseConfig()
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		g = kggen.Freebase(cfg)
+	case "movie":
+		cfg := kggen.DefaultMovieConfig()
+		if tiny {
+			cfg = kggen.TinyMovieConfig()
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		g = kggen.Movie(cfg)
+	case "amazon":
+		cfg := kggen.DefaultAmazonConfig()
+		if tiny {
+			cfg = kggen.TinyAmazonConfig()
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		g = kggen.Amazon(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "vkg-gen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	if err := g.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-gen: %v\n", err)
+		os.Exit(1)
+	}
+	st := g.Stats()
+	fmt.Printf("wrote %s: %d entities, %d relation types, %d edges (max degree %d, mean %.2f)\n",
+		*out, st.Entities, st.RelationTypes, st.Edges, st.MaxDegree, st.MeanDegree)
+}

@@ -1,0 +1,215 @@
+// Command vkg-query answers predictive queries interactively over a graph +
+// model pair produced by vkg-gen and vkg-train, using the cracking index.
+//
+// One-shot:
+//
+//	vkg-query -graph movie.graph -model movie.model -entity user17 -rel likes -k 5
+//	vkg-query -graph movie.graph -model movie.model -entity movie3 -rel likes -heads -k 5
+//	vkg-query -graph movie.graph -model movie.model -entity user17 -rel likes -agg avg -attr year
+//
+// REPL (reads "tails|heads|agg <entity> <relation> [k|kind attr]" lines):
+//
+//	vkg-query -graph movie.graph -model movie.model -repl
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vkgraph/internal/core"
+	"vkgraph/internal/embedding"
+	"vkgraph/internal/kg"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file (required)")
+		modelPath = flag.String("model", "", "model file (required)")
+		entity    = flag.String("entity", "", "query entity name")
+		rel       = flag.String("rel", "", "relationship name")
+		k         = flag.Int("k", 5, "top-k")
+		heads     = flag.Bool("heads", false, "query heads (?, r, t) instead of tails (h, r, ?)")
+		agg       = flag.String("agg", "", "aggregate kind: count, sum, avg, max, min")
+		attr      = flag.String("attr", "", "attribute for sum/avg/max/min")
+		repl      = flag.Bool("repl", false, "interactive mode")
+		alpha     = flag.Int("alpha", 3, "index dimensionality")
+	)
+	flag.Parse()
+	if *graphPath == "" || *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "vkg-query: -graph and -model are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		fatal("loading graph: %v", err)
+	}
+	m, err := embedding.LoadFile(*modelPath)
+	if err != nil {
+		fatal("loading model: %v", err)
+	}
+	p := core.DefaultParams()
+	p.Alpha = *alpha
+	p.Attrs = g.AttrNames()
+	eng, err := core.NewEngine(g, m, core.Crack, p)
+	if err != nil {
+		fatal("building engine: %v", err)
+	}
+
+	if *repl {
+		runREPL(eng, g)
+		return
+	}
+	if *entity == "" || *rel == "" {
+		fatal("-entity and -rel are required (or -repl)")
+	}
+	side := "tails"
+	if *heads {
+		side = "heads"
+	}
+	if *agg != "" {
+		if err := runAgg(eng, g, side, *entity, *rel, *agg, *attr); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if err := runTopK(eng, g, side, *entity, *rel, *k); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func resolve(g *kg.Graph, entity, rel string) (kg.EntityID, kg.RelationID, error) {
+	e, ok := g.EntityByName(entity)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown entity %q", entity)
+	}
+	r, ok := g.RelationByName(rel)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown relation %q", rel)
+	}
+	return e, r, nil
+}
+
+func runTopK(eng *core.Engine, g *kg.Graph, side, entity, rel string, k int) error {
+	e, r, err := resolve(g, entity, rel)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var res *core.TopKResult
+	if side == "heads" {
+		res, err = eng.TopKHeads(e, r, k)
+	} else {
+		res, err = eng.TopKTails(e, r, k)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("top-%d %s for (%s, %s) in %v (examined %d, recall bound %.4f):\n",
+		k, side, entity, rel, elapsed, res.Examined, res.RecallBound)
+	for i, p := range res.Predictions {
+		fmt.Printf("%3d. %-24s prob=%.4f dist=%.4f\n",
+			i+1, g.Entity(p.Entity).Name, p.Prob, p.Dist)
+	}
+	return nil
+}
+
+func runAgg(eng *core.Engine, g *kg.Graph, side, entity, rel, kind, attr string) error {
+	e, r, err := resolve(g, entity, rel)
+	if err != nil {
+		return err
+	}
+	q := core.AggQuery{Attr: attr}
+	switch strings.ToLower(kind) {
+	case "count":
+		q.Kind = core.Count
+	case "sum":
+		q.Kind = core.Sum
+	case "avg":
+		q.Kind = core.Avg
+	case "max":
+		q.Kind = core.Max
+	case "min":
+		q.Kind = core.Min
+	default:
+		return fmt.Errorf("unknown aggregate %q", kind)
+	}
+	start := time.Now()
+	var res *core.AggResult
+	if side == "heads" {
+		res, err = eng.AggregateHeads(e, r, q)
+	} else {
+		res, err = eng.AggregateTails(e, r, q)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s(%s) over predicted %s of (%s, %s) = %.4f  [a=%d of b=%d, 95%% radius ±%.1f%%] in %v\n",
+		strings.ToUpper(kind), attr, side, entity, rel, res.Value,
+		res.Accessed, res.BallSize, 100*res.ConfidenceRadius(0.95), time.Since(start))
+	return nil
+}
+
+func runREPL(eng *core.Engine, g *kg.Graph) {
+	fmt.Println("commands:")
+	fmt.Println("  tails <entity> <relation> [k]")
+	fmt.Println("  heads <entity> <relation> [k]")
+	fmt.Println("  agg <entity> <relation> <count|sum|avg|max|min> [attr]")
+	fmt.Println("  stats | quit")
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "stats":
+			s := eng.IndexStats()
+			fmt.Printf("index: %d nodes (%d internal, %d leaves, %d pending), %d splits, %d bytes, height %d\n",
+				s.TotalNodes, s.InternalNodes, s.LeafNodes, s.PendingNodes,
+				s.BinarySplits, s.SizeBytes, s.Height)
+		case "tails", "heads":
+			if len(fields) < 3 {
+				fmt.Println("usage: tails|heads <entity> <relation> [k]")
+				continue
+			}
+			k := 5
+			if len(fields) > 3 {
+				if v, err := strconv.Atoi(fields[3]); err == nil {
+					k = v
+				}
+			}
+			if err := runTopK(eng, g, fields[0], fields[1], fields[2], k); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		case "agg":
+			if len(fields) < 4 {
+				fmt.Println("usage: agg <entity> <relation> <kind> [attr]")
+				continue
+			}
+			attr := ""
+			if len(fields) > 4 {
+				attr = fields[4]
+			}
+			if err := runAgg(eng, g, "tails", fields[1], fields[2], fields[3], attr); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		default:
+			fmt.Printf("unknown command %q\n", fields[0])
+		}
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vkg-query: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command vkg-train trains a TransE embedding (the prediction algorithm of
+// the virtual knowledge graph) on a dataset produced by vkg-gen and saves
+// the model.
+//
+// Usage:
+//
+//	vkg-train -graph movie.graph -out movie.model -dim 50 -epochs 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vkgraph/internal/embedding"
+	"vkgraph/internal/kg"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (required)")
+		out       = flag.String("out", "", "output model file (required)")
+		dim       = flag.Int("dim", 50, "embedding dimensionality")
+		epochs    = flag.Int("epochs", 30, "training epochs")
+		lr        = flag.Float64("lr", 0.01, "learning rate")
+		margin    = flag.Float64("margin", 1.0, "ranking margin")
+		l1        = flag.Bool("l1", false, "use L1 dissimilarity")
+		seed      = flag.Int64("seed", 42, "RNG seed")
+		workers   = flag.Int("workers", 1, "parallel SGD goroutines (>1 = Hogwild, non-deterministic)")
+		verbose   = flag.Bool("v", false, "print per-epoch loss")
+	)
+	flag.Parse()
+	if *graphPath == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "vkg-train: -graph and -out are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-train: loading graph: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := embedding.Config{
+		Dim:          *dim,
+		Epochs:       *epochs,
+		LearningRate: *lr,
+		Margin:       *margin,
+		Norm:         embedding.L2,
+		Sampling:     embedding.Bernoulli,
+		Seed:         *seed,
+	}
+	if *l1 {
+		cfg.Norm = embedding.L1
+	}
+	cfg.Workers = *workers
+
+	start := time.Now()
+	res, err := embedding.Train(g, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-train: %v\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		for i, l := range res.EpochLosses {
+			fmt.Printf("epoch %3d  loss %.6f\n", i+1, l)
+		}
+	}
+	if err := res.Model.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-train: saving model: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained %d-dim TransE on %d triples in %v; final loss %.6f; wrote %s\n",
+		*dim, g.NumTriples(), time.Since(start).Round(time.Millisecond),
+		res.EpochLosses[len(res.EpochLosses)-1], *out)
+}

@@ -1,0 +1,12 @@
+// Package vkgraph is a reproduction of "Online Indices for Predictive Top-k
+// Entity and Aggregate Queries on Knowledge Graphs" (Li, Ge, Chen; ICDE
+// 2020): a virtual knowledge graph — a knowledge graph extended with
+// predicted edges and probabilities — indexed by an online-cracked,
+// low-dimensional R-tree over JL-transformed embedding vectors.
+//
+// The public API lives in the vkg subpackage; the substrates (TransE
+// embedding, JL transform, cracking R-tree, baselines) live under internal/;
+// cmd/ holds the dataset, training, query, and benchmark tools; and
+// bench_test.go in this package regenerates every table and figure of the
+// paper's evaluation as Go benchmarks.
+package vkgraph

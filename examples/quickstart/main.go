@@ -1,0 +1,112 @@
+// Quickstart: build the paper's Figure 1 scenario — users, restaurants,
+// grocery stores and food styles — ask the two motivating queries:
+//
+//	Q1: "top-k most likely restaurants Amy would rate high but has not
+//	     been to yet"                                   (top-k entity query)
+//	Q2: "the average age of the people who would like Restaurant 2"
+//	                                                    (aggregate query)
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vkgraph/vkg"
+)
+
+func main() {
+	g := vkg.NewGraph()
+
+	ratesHigh := g.AddRelation("rates-high")
+	frequents := g.AddRelation("frequents")
+	belongsTo := g.AddRelation("belongs-to")
+
+	// Food styles and venues.
+	styles := map[string]vkg.EntityID{}
+	for _, s := range []string{"Italian", "Mexican", "Japanese", "Indian"} {
+		styles[s] = g.AddEntity(s, "style")
+	}
+	styleNames := []string{"Italian", "Mexican", "Japanese", "Indian"}
+
+	rng := rand.New(rand.NewSource(7))
+	var restaurants, groceries []vkg.EntityID
+	for i := 0; i < 40; i++ {
+		r := g.AddEntity(fmt.Sprintf("Restaurant %d", i+1), "restaurant")
+		restaurants = append(restaurants, r)
+		must(g.AddTriple(r, belongsTo, styles[styleNames[i%len(styleNames)]]))
+	}
+	for i := 0; i < 10; i++ {
+		gr := g.AddEntity(fmt.Sprintf("Grocery store %d", i+1), "grocery")
+		groceries = append(groceries, gr)
+		must(g.AddTriple(gr, belongsTo, styles[styleNames[i%len(styleNames)]]))
+	}
+
+	// Users with a latent favourite style: they rate high restaurants of
+	// that style (mostly) and frequent groceries of the same style.
+	var users []vkg.EntityID
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("User %d", i+1)
+		if i == 0 {
+			name = "Amy"
+		}
+		u := g.AddEntity(name, "user")
+		users = append(users, u)
+		g.SetAttr("age", u, float64(18+rng.Intn(50)))
+		fav := i % len(styleNames)
+		for j := 0; j < 6; j++ {
+			ri := (fav + j*len(styleNames)) % len(restaurants)
+			if rng.Float64() < 0.2 {
+				ri = rng.Intn(len(restaurants)) // a little noise
+			}
+			must(g.AddTriple(u, ratesHigh, restaurants[ri]))
+		}
+		must(g.AddTriple(u, frequents, groceries[fav%len(groceries)]))
+	}
+
+	// Build the virtual knowledge graph: trains TransE, projects to S2,
+	// prepares the cracking index (no offline build).
+	v, err := vkg.Build(g,
+		vkg.WithSeed(42),
+		vkg.WithAttributes("age"),
+		vkg.WithEmbedding(vkg.EmbeddingParams{Dim: 32, Epochs: 40}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	amy := users[0]
+
+	// Q1: top-5 restaurants Amy would rate high but hasn't yet.
+	res, err := v.TopKTails(amy, ratesHigh, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q1: top-5 restaurants Amy would rate high (predicted, not in the graph):")
+	for i, p := range res.Predictions {
+		fmt.Printf("  %d. %-16s probability %.3f\n", i+1, p.Name, p.Prob)
+	}
+	fmt.Printf("  (recall guarantee: no true top-5 entity missed with prob >= %.3f)\n\n", res.RecallBound)
+
+	// Q2: average age of people who would like Restaurant 2.
+	r2, _ := g.EntityByName("Restaurant 2")
+	agg, err := v.AggregateHeads(r2, ratesHigh, vkg.AggSpec{Kind: vkg.Avg, Attr: "age"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q2: expected average age of people who would like Restaurant 2: %.1f\n", agg.Value)
+	fmt.Printf("  (estimated from %d of %d entities in the probability ball, 95%% radius ±%.1f%%)\n\n",
+		agg.Accessed, agg.BallSize, 100*agg.ConfidenceRadius(0.95))
+
+	st := v.IndexStats()
+	fmt.Printf("index after 2 queries: %d nodes, %d binary splits, %d bytes\n",
+		st.TotalNodes, st.BinarySplits, st.SizeBytes)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

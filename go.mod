@@ -1,0 +1,3 @@
+module vkgraph
+
+go 1.22

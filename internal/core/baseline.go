@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"vkgraph/internal/kg"
+	"vkgraph/internal/scan"
+)
+
+// This file provides the "no index" reference paths: brute-force iteration
+// over every entity in S1. They serve as the performance baseline of
+// Figures 3, 5, 7 and as the accuracy ground truth for precision@K
+// (Figures 4, 6, 8) and for the aggregate experiments (Figures 12-16).
+
+// TopKTailsNoIndex answers the tail query by scanning all entities in S1.
+func (e *Engine) TopKTailsNoIndex(h kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
+	if err := e.validateEntity(h); err != nil {
+		return nil, err
+	}
+	if err := e.validateRelation(r); err != nil {
+		return nil, err
+	}
+	return e.scanTopK(e.m.TailQueryPoint(h, r), k, e.skipTails(h, r)), nil
+}
+
+// TopKHeadsNoIndex answers the head query by scanning all entities in S1.
+func (e *Engine) TopKHeadsNoIndex(t kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
+	if err := e.validateEntity(t); err != nil {
+		return nil, err
+	}
+	if err := e.validateRelation(r); err != nil {
+		return nil, err
+	}
+	return e.scanTopK(e.m.HeadQueryPoint(t, r), k, e.skipHeads(t, r)), nil
+}
+
+func (e *Engine) scanTopK(q1 []float64, k int, skip func(kg.EntityID) bool) *TopKResult {
+	nbs := scan.TopK(e.m.Dim, e.m.Entities, q1, k, func(id int32) bool { return skip(kg.EntityID(id)) })
+	res := &TopKResult{RecallBound: 1, Examined: e.g.NumEntities()}
+	for _, nb := range nbs {
+		res.Predictions = append(res.Predictions, Prediction{
+			Entity: kg.EntityID(nb.ID),
+			Dist:   math.Sqrt(nb.SqDist),
+		})
+	}
+	attachProbs(res.Predictions)
+	return res
+}
+
+// AggregateTailsExact computes the aggregate ground truth: every entity is
+// scanned in S1, the probability ball is exact, and every ball point is
+// accessed (a = b). This is the reference for the accuracy metric
+// 1 - |v_returned - v_true| / v_true of Figures 12-16.
+func (e *Engine) AggregateTailsExact(h kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
+	if err := e.validateEntity(h); err != nil {
+		return nil, err
+	}
+	if err := e.validateRelation(r); err != nil {
+		return nil, err
+	}
+	return e.aggregateExact(e.m.TailQueryPoint(h, r), q, e.skipTails(h, r))
+}
+
+// AggregateHeadsExact is the head-side ground-truth aggregate.
+func (e *Engine) AggregateHeadsExact(t kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
+	if err := e.validateEntity(t); err != nil {
+		return nil, err
+	}
+	if err := e.validateRelation(r); err != nil {
+		return nil, err
+	}
+	return e.aggregateExact(e.m.HeadQueryPoint(t, r), q, e.skipHeads(t, r))
+}
+
+func (e *Engine) aggregateExact(q1 []float64, q AggQuery, skip func(kg.EntityID) bool) (*AggResult, error) {
+	attrIdx := -1
+	if q.Kind != Count {
+		attrIdx = e.ps.AttrIndex(q.Attr)
+		if attrIdx < 0 {
+			return nil, errAttr(q.Attr)
+		}
+	}
+	pTau := q.PTau
+	if pTau <= 0 {
+		pTau = e.params.PTau
+	}
+	skipFn := func(id int32) bool { return skip(kg.EntityID(id)) }
+
+	// Exact d1 and exact S1 ball.
+	nearest := scan.TopK(e.m.Dim, e.m.Entities, q1, 1, skipFn)
+	if len(nearest) == 0 {
+		return &AggResult{}, nil
+	}
+	d1 := math.Sqrt(nearest[0].SqDist)
+	if d1 <= 0 {
+		d1 = 1e-12
+	}
+	rTau := d1 / pTau
+	within := scan.Within(e.m.Dim, e.m.Entities, q1, rTau*rTau, skipFn)
+
+	ball := make([]ballPoint, 0, len(within))
+	for _, nb := range within {
+		bp := ballPoint{id: kg.EntityID(nb.ID), d1: math.Sqrt(nb.SqDist)}
+		bp.prob = clampProb(d1 / math.Max(bp.d1, 1e-12))
+		if q.Kind == Count {
+			bp.val, bp.has = 1, true
+		} else {
+			bp.val, bp.has = e.ps.AttrValue(attrIdx, int32(bp.id))
+			if !bp.has {
+				continue // same relevance filter as the indexed path
+			}
+		}
+		ball = append(ball, bp)
+	}
+	sort.Slice(ball, func(i, j int) bool {
+		if ball[i].d1 != ball[j].d1 {
+			return ball[i].d1 < ball[j].d1
+		}
+		return ball[i].id < ball[j].id
+	})
+
+	b := len(ball)
+	res := &AggResult{Accessed: b, BallSize: b}
+	for _, bp := range ball {
+		if bp.has {
+			res.SumVi2 += bp.val * bp.val
+		}
+	}
+	switch q.Kind {
+	case Count, Sum:
+		res.Value = estimateSum(ball, b, b)
+	case Avg:
+		sum := estimateSum(ball, b, b)
+		cnt := estimateCount(ball, b, b)
+		if cnt > 0 {
+			res.Value = sum / cnt
+		}
+	case Max:
+		res.Value = estimateMax(ball, false)
+	case Min:
+		res.Value = estimateMax(ball, true)
+	}
+	return res, nil
+}
+
+func errAttr(name string) error {
+	return &attrError{name: name}
+}
+
+type attrError struct{ name string }
+
+func (e *attrError) Error() string {
+	return "core: attribute \"" + e.name + "\" not registered with the index"
+}

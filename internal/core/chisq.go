@@ -1,0 +1,91 @@
+package core
+
+import "math"
+
+// chiSqSurvival returns P(X >= x) for X ~ chi-squared with k degrees of
+// freedom: the regularized upper incomplete gamma Q(k/2, x/2).
+//
+// The aggregate estimators use it as a membership weight: under the JL
+// projection l2 = l1 * sqrt(chi2_k / k), so a point observed at S2 distance
+// d2 lies inside the S1 ball of radius r with probability
+// P(chi2_k >= k * (d2/r)^2) — chiSqSurvival(k, k*(d2/r)^2).
+func chiSqSurvival(k int, x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return gammaIncQ(float64(k)/2, x/2)
+}
+
+// gammaIncQ computes the regularized upper incomplete gamma function
+// Q(a, x) = Gamma(a, x) / Gamma(a) with the standard series / continued
+// fraction split (Numerical Recipes §6.2).
+func gammaIncQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeriesP(a, x)
+	default:
+		return gammaContinuedQ(a, x)
+	}
+}
+
+// gammaSeriesP evaluates P(a, x) by its power series, accurate for x < a+1.
+func gammaSeriesP(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+	)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lnGamma(a))
+}
+
+// gammaContinuedQ evaluates Q(a, x) by its continued fraction, accurate for
+// x >= a+1.
+func gammaContinuedQ(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h * math.Exp(-x+a*math.Log(x)-lnGamma(a))
+}
+
+func lnGamma(a float64) float64 {
+	v, _ := math.Lgamma(a)
+	return v
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChiSqSurvivalKnownValues(t *testing.T) {
+	// Chi-squared survival values from standard tables.
+	cases := []struct {
+		k    int
+		x    float64
+		want float64
+	}{
+		{1, 3.841, 0.05},
+		{2, 5.991, 0.05},
+		{3, 7.815, 0.05},
+		{3, 0.352, 0.95},
+		{6, 12.592, 0.05},
+		{10, 18.307, 0.05},
+	}
+	for _, c := range cases {
+		got := chiSqSurvival(c.k, c.x)
+		if math.Abs(got-c.want) > 2e-3 {
+			t.Fatalf("chiSqSurvival(%d, %v) = %v, want %v", c.k, c.x, got, c.want)
+		}
+	}
+	if got := chiSqSurvival(3, 0); got != 1 {
+		t.Fatalf("survival at 0 = %v, want 1", got)
+	}
+	if got := chiSqSurvival(3, -1); got != 1 {
+		t.Fatalf("survival at negative = %v, want 1", got)
+	}
+}
+
+func TestChiSqSurvivalMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const trials = 20000
+	for _, k := range []int{3, 6} {
+		for _, x := range []float64{1, 3, 8} {
+			exceed := 0
+			for i := 0; i < trials; i++ {
+				var s float64
+				for j := 0; j < k; j++ {
+					v := rng.NormFloat64()
+					s += v * v
+				}
+				if s >= x {
+					exceed++
+				}
+			}
+			got := chiSqSurvival(k, x)
+			emp := float64(exceed) / trials
+			if math.Abs(got-emp) > 0.015 {
+				t.Fatalf("k=%d x=%v: analytic %v vs empirical %v", k, x, got, emp)
+			}
+		}
+	}
+}
+
+func TestGammaIncQProperties(t *testing.T) {
+	// Q is decreasing in x and lies in [0, 1].
+	for _, a := range []float64{0.5, 1, 1.5, 3, 10} {
+		prev := 1.0
+		for x := 0.0; x < 30; x += 0.5 {
+			q := gammaIncQ(a, x)
+			if q < -1e-12 || q > 1+1e-12 {
+				t.Fatalf("Q(%v,%v) = %v outside [0,1]", a, x, q)
+			}
+			if q > prev+1e-9 {
+				t.Fatalf("Q(%v,·) not decreasing at %v", a, x)
+			}
+			prev = q
+		}
+	}
+	if !math.IsNaN(gammaIncQ(-1, 2)) {
+		t.Fatal("negative a accepted")
+	}
+}
+
+func TestJLInverseBias(t *testing.T) {
+	// Monte-Carlo check of E[l1/l2] = E[(chi2_a/a)^(-1/2)].
+	rng := rand.New(rand.NewSource(9))
+	for _, alpha := range []int{2, 3, 6} {
+		want := jlInverseBias(alpha)
+		var sum float64
+		const trials = 200000
+		for i := 0; i < trials; i++ {
+			var s float64
+			for j := 0; j < alpha; j++ {
+				v := rng.NormFloat64()
+				s += v * v
+			}
+			sum += 1 / math.Sqrt(s/float64(alpha))
+		}
+		emp := sum / trials
+		if math.Abs(want-emp)/want > 0.02 {
+			t.Fatalf("alpha=%d: analytic %v vs empirical %v", alpha, want, emp)
+		}
+	}
+	if got := jlInverseBias(1); got != 1 {
+		t.Fatalf("alpha=1 fallback = %v, want 1", got)
+	}
+}

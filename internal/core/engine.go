@@ -1,0 +1,214 @@
+// Package core ties the substrates together into the paper's query engine:
+// it owns the virtual knowledge graph (graph + TransE embedding + JL
+// transform + cracking R-tree) and implements the query-processing
+// algorithms of Section V — FindTopKEntities (Algorithm 3) and the sampled
+// aggregate estimators with their martingale accuracy bounds (Theorem 4,
+// Equations 3-4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vkgraph/internal/embedding"
+	"vkgraph/internal/jl"
+	"vkgraph/internal/kg"
+	"vkgraph/internal/rtree"
+)
+
+// IndexMode selects how the S2 index is built.
+type IndexMode int
+
+const (
+	// Crack builds the index online as queries arrive (the paper's
+	// contribution). With Params.Index.SplitChoices > 1 this is the
+	// Top-kSplitsIndexBuild variant.
+	Crack IndexMode = iota
+	// Bulk builds the complete R-tree offline (Algorithm 1).
+	Bulk
+)
+
+// Params configure an Engine.
+type Params struct {
+	// Alpha is the dimensionality of S2 (paper: 3 or 6).
+	Alpha int
+	// Eps is the query-expansion epsilon of Algorithm 3: the search ball
+	// radius is the kth best S1 distance times (1+Eps). Larger values
+	// trade speed for recall per Theorem 2.
+	Eps float64
+	// PTau is the aggregate probability threshold: the aggregation ball
+	// contains entities with predicted probability at least PTau.
+	PTau float64
+	// Seed fixes the JL projection.
+	Seed int64
+	// Index are the R-tree options.
+	Index rtree.Options
+	// Attrs are graph attribute columns registered with the index so
+	// contour elements expose min/max statistics (the v_m of Theorem 4).
+	Attrs []string
+}
+
+// DefaultParams returns the default configuration: alpha = 3 as in the
+// paper, eps = 0.75 (calibrated so precision@10 lands in the paper's
+// reported >= 0.95 band at alpha = 3), p_tau = 0.05.
+func DefaultParams() Params {
+	return Params{Alpha: 3, Eps: 0.75, PTau: 0.05, Seed: 1, Index: rtree.DefaultOptions()}
+}
+
+// Engine answers predictive top-k and aggregate queries over a virtual
+// knowledge graph.
+type Engine struct {
+	g      *kg.Graph
+	m      *embedding.Model
+	tf     *jl.Transform
+	ps     *rtree.PointSet
+	tree   *rtree.Tree
+	layout *s1Layout // S2-Morton-ordered copy of the S1 vectors
+
+	params Params
+	mode   IndexMode
+}
+
+// NewEngine builds the query engine: projects every entity embedding into
+// S2 and creates the index in the requested mode. With mode == Crack this
+// is cheap (one sort pass); with mode == Bulk it performs the full offline
+// build.
+func NewEngine(g *kg.Graph, m *embedding.Model, mode IndexMode, p Params) (*Engine, error) {
+	if g == nil || m == nil {
+		return nil, errors.New("core: nil graph or model")
+	}
+	if g.NumEntities() != m.NumEntities() {
+		return nil, fmt.Errorf("core: graph has %d entities, model %d", g.NumEntities(), m.NumEntities())
+	}
+	if p.Alpha <= 0 {
+		return nil, fmt.Errorf("core: invalid alpha %d", p.Alpha)
+	}
+	if p.Eps < 0 {
+		return nil, fmt.Errorf("core: negative eps %v", p.Eps)
+	}
+	if p.PTau <= 0 || p.PTau > 1 {
+		p.PTau = 0.05
+	}
+
+	g.Freeze() // idempotent; sorts adjacency for the binary-search filters
+
+	tf := jl.New(m.Dim, p.Alpha, p.Seed)
+	coords := tf.ApplyAll(m.Entities)
+	ps := rtree.NewPointSet(p.Alpha, coords)
+	for _, name := range p.Attrs {
+		col, ok := g.AttrColumn(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown attribute %q", name)
+		}
+		ps.RegisterAttr(name, col)
+	}
+
+	e := &Engine{g: g, m: m, tf: tf, ps: ps, params: p, mode: mode,
+		layout: newS1Layout(m, coords, p.Alpha)}
+	switch mode {
+	case Crack:
+		e.tree = rtree.NewCracking(ps, p.Index)
+	case Bulk:
+		e.tree = rtree.NewBulkLoaded(ps, p.Index)
+	default:
+		return nil, fmt.Errorf("core: unknown index mode %d", mode)
+	}
+	return e, nil
+}
+
+// Graph returns the underlying knowledge graph.
+func (e *Engine) Graph() *kg.Graph { return e.g }
+
+// Model returns the embedding model.
+func (e *Engine) Model() *embedding.Model { return e.m }
+
+// Transform returns the S1 -> S2 JL transform.
+func (e *Engine) Transform() *jl.Transform { return e.tf }
+
+// Tree returns the S2 index (for stats and tests).
+func (e *Engine) Tree() *rtree.Tree { return e.tree }
+
+// Params returns the engine parameters.
+func (e *Engine) Params() Params { return e.params }
+
+// IndexStats reports the index structure counters (Figs. 9-11).
+func (e *Engine) IndexStats() rtree.Stats { return e.tree.Stats() }
+
+// s1Dist returns the S1 distance between query point q1 and entity id,
+// under the embedding's norm.
+func (e *Engine) s1Dist(q1 []float64, id kg.EntityID) float64 {
+	ev := e.m.EntityVec(id)
+	var s float64
+	if e.m.NormUsed == embedding.L1 {
+		for i, v := range q1 {
+			d := v - ev[i]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		return s
+	}
+	for i, v := range q1 {
+		d := v - ev[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// s1DistFast is s1Dist through the Morton-ordered layout (L2 models only;
+// L1 models fall back to the model rows).
+func (e *Engine) s1DistFast(q1 []float64, id kg.EntityID) float64 {
+	if e.m.NormUsed == embedding.L1 {
+		return e.s1Dist(q1, id)
+	}
+	return math.Sqrt(e.layout.sqDistBounded(q1, id, math.Inf(1)))
+}
+
+// skipTails returns the default E'-only filter for (h, r, ?) queries: the
+// query entity itself and its known tails in E are excluded. The known-tail
+// set is captured once as a sorted slice, so the per-candidate test is a
+// branchless binary search instead of a map probe — this filter runs for
+// every examined point of every query.
+func (e *Engine) skipTails(h kg.EntityID, r kg.RelationID) func(kg.EntityID) bool {
+	known := e.g.Tails(h, r) // sorted after Freeze
+	return func(id kg.EntityID) bool {
+		return id == h || containsSorted(known, id)
+	}
+}
+
+// skipHeads is the analogous filter for (?, r, t) queries.
+func (e *Engine) skipHeads(t kg.EntityID, r kg.RelationID) func(kg.EntityID) bool {
+	known := e.g.Heads(t, r)
+	return func(id kg.EntityID) bool {
+		return id == t || containsSorted(known, id)
+	}
+}
+
+func containsSorted(s []kg.EntityID, x kg.EntityID) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}
+
+func (e *Engine) validateEntity(id kg.EntityID) error {
+	if id < 0 || int(id) >= e.g.NumEntities() {
+		return fmt.Errorf("core: entity %d out of range [0,%d)", id, e.g.NumEntities())
+	}
+	return nil
+}
+
+func (e *Engine) validateRelation(id kg.RelationID) error {
+	if id < 0 || int(id) >= e.g.NumRelations() {
+		return fmt.Errorf("core: relation %d out of range [0,%d)", id, e.g.NumRelations())
+	}
+	return nil
+}

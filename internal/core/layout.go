@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"vkgraph/internal/embedding"
+	"vkgraph/internal/kg"
+)
+
+// s1Layout is a cache-friendly copy of the S1 entity vectors, reordered by
+// the Z-order (Morton) code of the S2 coordinates. Algorithm 3 examines
+// points in ascending S2 distance, so consecutive candidates are S2-local;
+// laying their 50-dimensional S1 rows out in S2 order turns the dominant
+// cost of a query — random DRAM reads of embedding rows — into mostly
+// sequential ones. This is the in-memory analogue of the paper's leaf-page
+// locality argument (Lemma 3's page-count cost).
+type s1Layout struct {
+	dim  int
+	rows []float64 // n x dim, Morton order
+	pos  []int32   // entity id -> row index
+}
+
+func newS1Layout(m *embedding.Model, s2 []float64, alpha int) *s1Layout {
+	n := m.NumEntities()
+	l := &s1Layout{dim: m.Dim, rows: make([]float64, n*m.Dim), pos: make([]int32, n)}
+	order := mortonOrder(s2, alpha)
+	for row, id := range order {
+		l.pos[id] = int32(row)
+		copy(l.rows[row*m.Dim:(row+1)*m.Dim], m.EntityVec(id))
+	}
+	return l
+}
+
+// sqDistBounded returns the squared S1 distance between q1 and entity id,
+// aborting with +Inf once the partial sum exceeds cutoffSq (candidates that
+// cannot enter the top-k need no exact distance).
+func (l *s1Layout) sqDistBounded(q1 []float64, id kg.EntityID, cutoffSq float64) float64 {
+	base := int(l.pos[id]) * l.dim
+	row := l.rows[base : base+l.dim]
+	var s float64
+	i := 0
+	for ; i+8 <= len(row); i += 8 {
+		for j := i; j < i+8; j++ {
+			d := q1[j] - row[j]
+			s += d * d
+		}
+		if s > cutoffSq {
+			return math.Inf(1)
+		}
+	}
+	for ; i < len(row); i++ {
+		d := q1[i] - row[i]
+		s += d * d
+	}
+	if s > cutoffSq {
+		return math.Inf(1)
+	}
+	return s
+}
+
+// mortonOrder returns entity ids sorted by the Morton (Z-order) code of
+// their quantized S2 coordinates.
+func mortonOrder(s2 []float64, alpha int) []kg.EntityID {
+	n := len(s2) / alpha
+	lo := make([]float64, alpha)
+	hi := make([]float64, alpha)
+	for j := 0; j < alpha; j++ {
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < alpha; j++ {
+			v := s2[i*alpha+j]
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	bits := 63 / alpha
+	if bits > 16 {
+		bits = 16
+	}
+	maxQ := float64(uint64(1)<<uint(bits)) - 1
+	codes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var code uint64
+		for b := bits - 1; b >= 0; b-- {
+			for j := 0; j < alpha; j++ {
+				span := hi[j] - lo[j]
+				var q uint64
+				if span > 0 {
+					q = uint64((s2[i*alpha+j] - lo[j]) / span * maxQ)
+				}
+				code = code<<1 | (q >> uint(b) & 1)
+			}
+		}
+		codes[i] = code
+	}
+	order := make([]kg.EntityID, n)
+	for i := range order {
+		order[i] = kg.EntityID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := codes[order[a]], codes[order[b]]
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

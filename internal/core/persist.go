@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"vkgraph/internal/embedding"
+	"vkgraph/internal/jl"
+	"vkgraph/internal/kg"
+	"vkgraph/internal/rtree"
+)
+
+// Engine persistence: one file holds the graph, the trained embedding, the
+// engine parameters, and the *shape* of the cracked index — the part whose
+// value the query workload paid for. On load, the S2 points, the JL
+// transform, and the Morton layout are rebuilt deterministically from the
+// model and the saved seed.
+
+type wireEngine struct {
+	Params   Params
+	Mode     IndexMode
+	GraphGob []byte
+	ModelGob []byte
+	TreeGob  []byte
+}
+
+// Save writes the engine (graph, model, parameters, index shape) to w.
+func (e *Engine) Save(w io.Writer) error {
+	var graphBuf, modelBuf, treeBuf bytes.Buffer
+	if err := e.g.Save(&graphBuf); err != nil {
+		return fmt.Errorf("core: saving graph: %w", err)
+	}
+	if err := e.m.Save(&modelBuf); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := e.tree.Save(&treeBuf); err != nil {
+		return fmt.Errorf("core: saving index: %w", err)
+	}
+	return gob.NewEncoder(w).Encode(wireEngine{
+		Params:   e.params,
+		Mode:     e.mode,
+		GraphGob: graphBuf.Bytes(),
+		ModelGob: modelBuf.Bytes(),
+		TreeGob:  treeBuf.Bytes(),
+	})
+}
+
+// LoadEngine reads an engine written by Save.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	var wire wireEngine
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decode engine: %w", err)
+	}
+	g, err := kg.Load(bytes.NewReader(wire.GraphGob))
+	if err != nil {
+		return nil, fmt.Errorf("core: loading graph: %w", err)
+	}
+	m, err := embedding.Load(bytes.NewReader(wire.ModelGob))
+	if err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	p := wire.Params
+
+	tf := jl.New(m.Dim, p.Alpha, p.Seed)
+	coords := tf.ApplyAll(m.Entities)
+	ps := rtree.NewPointSet(p.Alpha, coords)
+	for _, name := range p.Attrs {
+		col, ok := g.AttrColumn(name)
+		if !ok {
+			return nil, fmt.Errorf("core: attribute %q missing from loaded graph", name)
+		}
+		ps.RegisterAttr(name, col)
+	}
+	tree, err := rtree.Load(bytes.NewReader(wire.TreeGob), ps)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	return &Engine{
+		g:      g,
+		m:      m,
+		tf:     tf,
+		ps:     ps,
+		tree:   tree,
+		layout: newS1Layout(m, coords, p.Alpha),
+		params: p,
+		mode:   wire.Mode,
+	}, nil
+}
+
+// SaveFile writes the engine to path.
+func (e *Engine) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := e.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEngineFile reads an engine from path.
+func LoadEngineFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEngine(f)
+}

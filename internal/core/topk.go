@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"vkgraph/internal/embedding"
+	"vkgraph/internal/jl"
+	"vkgraph/internal/kg"
+	"vkgraph/internal/rtree"
+)
+
+// Prediction is one predicted edge of the virtual knowledge graph: an
+// entity, its S1 distance to the query point, and the paper's probability
+// (the closest entity has probability 1, others inversely proportional to
+// distance).
+type Prediction struct {
+	Entity kg.EntityID
+	Dist   float64
+	Prob   float64
+}
+
+// TopKResult carries the predictions together with the data-dependent
+// accuracy guarantee of Theorem 2.
+type TopKResult struct {
+	Predictions []Prediction
+	// RecallBound is the Theorem 2 lower bound on the probability that no
+	// true top-k entity was missed.
+	RecallBound float64
+	// ExpectedMisses is the Theorem 2 expected number of missing entities.
+	ExpectedMisses float64
+	// Examined is the number of candidate entities whose S1 distance was
+	// computed — the query's dominant cost.
+	Examined int
+}
+
+// TopKTails answers "top-k entities t most likely to be in relation r with
+// head h, excluding edges already in E" — query Q1 of the paper.
+func (e *Engine) TopKTails(h kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
+	if err := e.validateEntity(h); err != nil {
+		return nil, err
+	}
+	if err := e.validateRelation(r); err != nil {
+		return nil, err
+	}
+	q1 := e.m.TailQueryPoint(h, r)
+	return e.findTopK(q1, k, e.skipTails(h, r)), nil
+}
+
+// TopKHeads answers "top-k entities h most likely to be in relation r with
+// tail t" — the symmetric query, searching around t - r.
+func (e *Engine) TopKHeads(t kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
+	if err := e.validateEntity(t); err != nil {
+		return nil, err
+	}
+	if err := e.validateRelation(r); err != nil {
+		return nil, err
+	}
+	q1 := e.m.HeadQueryPoint(t, r)
+	return e.findTopK(q1, k, e.skipHeads(t, r)), nil
+}
+
+// findTopK implements FindTopKEntities (Algorithm 3):
+//
+//  1. q <- the query point in S2;
+//  2. probe the index for k seed points near q and set the initial radius
+//     r_q = r_k*(seeds) * (1+eps), with r_k* measured in S1;
+//  3. examine the unexamined points of Q = B(q, r_q) in increasing S2
+//     distance, refining the top-k and shrinking r_q as better S1 distances
+//     arrive (the radius is non-increasing, so examining in S2 order lets
+//     us stop at the current radius);
+//  4. crack the index with the final query region.
+func (e *Engine) findTopK(q1 []float64, k int, skip func(kg.EntityID) bool) *TopKResult {
+	res := &TopKResult{}
+	if k <= 0 || e.ps.N() == 0 {
+		res.RecallBound = 1
+		return res
+	}
+	q2 := e.tf.Apply(q1)
+
+	// Line 2: seed candidates from the smallest element containing q.
+	// Request extra seeds since some will be skipped as known E-edges.
+	top := newTopKSet(k)
+	want := 4 * k
+	for {
+		seeds := e.tree.NearestSeeds(q2, want)
+		for _, id := range seeds {
+			if skip(id) {
+				continue
+			}
+			top.offer(Prediction{Entity: id, Dist: e.s1DistFast(q1, id)})
+			res.Examined++
+		}
+		if top.len() >= k || len(seeds) >= e.ps.N() {
+			break
+		}
+		want *= 4
+	}
+	if top.len() == 0 {
+		res.RecallBound = 1
+		return res
+	}
+
+	// Lines 3-8: examine the points of the ball in increasing S2 distance,
+	// shrinking the ball as the top-k improve. Since the walk is ascending
+	// and the radius is non-increasing, stopping at the first point beyond
+	// the current radius is exact.
+	radius := func() float64 { return top.kth() * (1 + e.params.Eps) }
+	sqRadius := func() float64 { r := radius(); return r * r }
+	l1 := e.m.NormUsed == embedding.L1
+	e.tree.WalkWithin(q2, sqRadius, func(id32 int32, sqd float64) bool {
+		if sqd > sqRadius() {
+			return false
+		}
+		id := kg.EntityID(id32)
+		if top.contains(id) || skip(id) {
+			return true
+		}
+		res.Examined++
+		if l1 {
+			top.offer(Prediction{Entity: id, Dist: e.s1Dist(q1, id)})
+			return true
+		}
+		// Exact distances are only needed for candidates that can enter
+		// the current top-k; the bounded computation aborts early for the
+		// rest.
+		cutoffSq := math.Inf(1)
+		if top.len() >= k {
+			kd := top.kth()
+			cutoffSq = kd * kd
+		}
+		sq := e.layout.sqDistBounded(q1, id, cutoffSq)
+		if !math.IsInf(sq, 1) {
+			top.offer(Prediction{Entity: id, Dist: math.Sqrt(sq)})
+		}
+		return true
+	})
+
+	// Line 9: update the incremental index with the final query region.
+	finalQ := rtree.BallRect(q2, radius())
+	e.tree.Crack(finalQ)
+
+	res.Predictions = top.sorted()
+	attachProbs(res.Predictions)
+	rStar := make([]float64, len(res.Predictions))
+	for i, p := range res.Predictions {
+		rStar[i] = p.Dist
+	}
+	res.RecallBound = jl.TopKRecallLowerBound(rStar, e.params.Eps, e.params.Alpha)
+	res.ExpectedMisses = jl.ExpectedTopKMisses(rStar, e.params.Eps, e.params.Alpha)
+	return res
+}
+
+// attachProbs fills in the paper's probability model over a distance-sorted
+// prediction list: the closest entity has probability 1 and the rest decay
+// inversely with distance.
+func attachProbs(preds []Prediction) {
+	if len(preds) == 0 {
+		return
+	}
+	d1 := preds[0].Dist
+	if d1 <= 0 {
+		d1 = 1e-12
+	}
+	for i := range preds {
+		d := preds[i].Dist
+		if d < d1 {
+			d = d1
+		}
+		preds[i].Prob = d1 / d
+	}
+}
+
+// topKSet maintains the k closest predictions seen so far.
+type topKSet struct {
+	k     int
+	items []Prediction // sorted ascending by (Dist, Entity)
+	inSet map[kg.EntityID]bool
+}
+
+func newTopKSet(k int) *topKSet {
+	return &topKSet{k: k, inSet: make(map[kg.EntityID]bool, k+1)}
+}
+
+func (s *topKSet) len() int { return len(s.items) }
+
+func (s *topKSet) contains(id kg.EntityID) bool { return s.inSet[id] }
+
+// kth returns the current kth smallest distance (the largest kept one); if
+// fewer than k items are present it returns the largest so far.
+func (s *topKSet) kth() float64 {
+	if len(s.items) == 0 {
+		return 0
+	}
+	return s.items[len(s.items)-1].Dist
+}
+
+func (s *topKSet) offer(p Prediction) {
+	if s.inSet[p.Entity] {
+		return
+	}
+	pos := sort.Search(len(s.items), func(i int) bool {
+		if s.items[i].Dist != p.Dist {
+			return s.items[i].Dist > p.Dist
+		}
+		return s.items[i].Entity > p.Entity
+	})
+	if pos >= s.k {
+		return
+	}
+	s.items = append(s.items, Prediction{})
+	copy(s.items[pos+1:], s.items[pos:])
+	s.items[pos] = p
+	s.inSet[p.Entity] = true
+	if len(s.items) > s.k {
+		evicted := s.items[len(s.items)-1]
+		delete(s.inSet, evicted.Entity)
+		s.items = s.items[:s.k]
+	}
+}
+
+func (s *topKSet) sorted() []Prediction {
+	out := make([]Prediction, len(s.items))
+	copy(out, s.items)
+	return out
+}

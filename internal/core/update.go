@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vkgraph/internal/kg"
+)
+
+// This file implements the paper's Section VIII future work: dynamic
+// knowledge-graph updates with incremental updates on the partial index.
+// The paper's intuition — "when there are local updates, the embedding
+// changes should be local too, as most (h, r, t) soft constraints still
+// hold" — is realized in two operations:
+//
+//   - AddFact records a new edge. The embedding is untouched (the existing
+//     soft constraints still hold); the fact takes effect immediately
+//     because predictive queries cover E' only, so the new edge disappears
+//     from prediction results on the next query.
+//
+//   - InsertEntity adds a brand-new entity with its initial facts. Its
+//     embedding vector is solved locally from the translation constraints
+//     it participates in (t ≈ h + r for each fact), every other vector is
+//     left alone, and the point is inserted into the cracking index, whose
+//     deferred-split insert keeps the uneven structure intact.
+
+// Fact describes one edge of a new entity: the relation, the other
+// endpoint, and which side the new entity occupies.
+type Fact struct {
+	Rel   kg.RelationID
+	Other kg.EntityID
+	// NewIsHead marks the new entity as the head (new, Rel, Other);
+	// otherwise the fact is (Other, Rel, new).
+	NewIsHead bool
+}
+
+// AddFact records the fact (h, r, t) on the live engine.
+func (e *Engine) AddFact(h kg.EntityID, r kg.RelationID, t kg.EntityID) error {
+	if err := e.validateEntity(h); err != nil {
+		return err
+	}
+	if err := e.validateEntity(t); err != nil {
+		return err
+	}
+	if err := e.validateRelation(r); err != nil {
+		return err
+	}
+	return e.g.InsertTripleDynamic(h, r, t)
+}
+
+// InsertEntity adds a new entity with at least one initial fact and returns
+// its id. The entity's S1 vector is the mean of the positions implied by
+// its facts (h + r for tail roles, t - r for head roles) — the local least-
+// squares solution of the TransE constraints with all other vectors fixed —
+// and the S2 point is inserted into the index without any rebuilding.
+func (e *Engine) InsertEntity(name, typ string, facts []Fact, attrs map[string]float64) (kg.EntityID, error) {
+	if len(facts) == 0 {
+		return 0, errors.New("core: InsertEntity needs at least one fact to place the entity")
+	}
+	for _, f := range facts {
+		if err := e.validateEntity(f.Other); err != nil {
+			return 0, err
+		}
+		if err := e.validateRelation(f.Rel); err != nil {
+			return 0, err
+		}
+	}
+
+	// Solve the new vector locally from the translation constraints.
+	vec := make([]float64, e.m.Dim)
+	for _, f := range facts {
+		ov := e.m.EntityVec(f.Other)
+		rv := e.m.RelVec(f.Rel)
+		if f.NewIsHead {
+			// new + r ≈ other  =>  new ≈ other - r
+			for i := range vec {
+				vec[i] += ov[i] - rv[i]
+			}
+		} else {
+			// other + r ≈ new  =>  new ≈ other + r
+			for i := range vec {
+				vec[i] += ov[i] + rv[i]
+			}
+		}
+	}
+	for i := range vec {
+		vec[i] /= float64(len(facts))
+	}
+
+	// Grow graph, model, layout, S2 point set, and index in lockstep.
+	id := e.g.AddEntity(name, typ)
+	e.m.Entities = append(e.m.Entities, vec...)
+	if int(id)*e.m.Dim != len(e.m.Entities)-e.m.Dim {
+		return 0, fmt.Errorf("core: model/graph desynchronized at entity %d", id)
+	}
+	for _, f := range facts {
+		var err error
+		if f.NewIsHead {
+			err = e.g.InsertTripleDynamic(id, f.Rel, f.Other)
+		} else {
+			err = e.g.InsertTripleDynamic(f.Other, f.Rel, id)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	for name, v := range attrs {
+		e.g.SetAttr(name, id, v)
+		if col, ok := e.g.AttrColumn(name); ok {
+			e.ps.RefreshAttr(name, col)
+		}
+	}
+
+	p2 := e.tf.Apply(vec)
+	pid := e.ps.AppendPoint(p2)
+	if pid != int32(id) {
+		return 0, fmt.Errorf("core: point set desynchronized: point %d for entity %d", pid, id)
+	}
+	e.tree.Insert(pid)
+	e.layout.appendRow(vec)
+	return id, nil
+}
+
+// appendRow extends the Morton layout with a new entity's vector. Appended
+// rows live at the end rather than in Morton position — still correct, just
+// not cache-ideal; a rebuild would restore perfect locality.
+func (l *s1Layout) appendRow(vec []float64) {
+	l.pos = append(l.pos, int32(len(l.rows)/l.dim))
+	l.rows = append(l.rows, vec...)
+}

@@ -1,0 +1,115 @@
+package embedding
+
+import (
+	"sort"
+
+	"vkgraph/internal/kg"
+)
+
+// RankResult summarizes link-prediction quality on a set of held-out
+// triples, in the standard TransE evaluation protocol: for each test triple
+// the tail (resp. head) is ranked among all entities by dissimilarity, with
+// known training edges filtered out.
+type RankResult struct {
+	MeanRank  float64
+	MeanRecip float64 // mean reciprocal rank
+	HitsAt10  float64
+	HitsAt1   float64
+	Queries   int
+}
+
+// EvaluateTailRanking ranks the true tail of each test triple against all
+// entities under the model, filtering entities already related to (h, r) in
+// train. It is used by tests to assert that training actually learned the
+// graph, and by examples to report embedding quality.
+func EvaluateTailRanking(m *Model, train *kg.Graph, test []kg.Triple) RankResult {
+	var res RankResult
+	if len(test) == 0 {
+		return res
+	}
+	nE := m.NumEntities()
+	var sumRank, sumRecip float64
+	for _, tr := range test {
+		q := m.TailQueryPoint(tr.H, tr.R)
+		trueDis := disTo(m, q, tr.T)
+		rank := 1
+		for e := 0; e < nE; e++ {
+			id := kg.EntityID(e)
+			if id == tr.T || train.HasEdge(tr.H, tr.R, id) {
+				continue
+			}
+			if disTo(m, q, id) < trueDis {
+				rank++
+			}
+		}
+		sumRank += float64(rank)
+		sumRecip += 1 / float64(rank)
+		if rank <= 10 {
+			res.HitsAt10++
+		}
+		if rank == 1 {
+			res.HitsAt1++
+		}
+		res.Queries++
+	}
+	res.MeanRank = sumRank / float64(len(test))
+	res.MeanRecip = sumRecip / float64(len(test))
+	res.HitsAt10 /= float64(len(test))
+	res.HitsAt1 /= float64(len(test))
+	return res
+}
+
+// disTo returns the model-norm distance between query point q (in S1) and
+// entity id's vector.
+func disTo(m *Model, q []float64, id kg.EntityID) float64 {
+	ev := m.EntityVec(id)
+	var s float64
+	if m.NormUsed == L1 {
+		for i := range q {
+			d := q[i] - ev[i]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		return s
+	}
+	for i := range q {
+		d := q[i] - ev[i]
+		s += d * d
+	}
+	return s
+}
+
+// TopTails returns the k entities with smallest dissimilarity to (h, r, ?)
+// by brute force, excluding existing tails in g. It is the package-level
+// ground truth against which index-based query answers are compared.
+func TopTails(m *Model, g *kg.Graph, h kg.EntityID, r kg.RelationID, k int) []kg.EntityID {
+	type cand struct {
+		id  kg.EntityID
+		dis float64
+	}
+	q := m.TailQueryPoint(h, r)
+	cands := make([]cand, 0, k+1)
+	for e := 0; e < m.NumEntities(); e++ {
+		id := kg.EntityID(e)
+		if id == h || g.HasEdge(h, r, id) {
+			continue
+		}
+		cands = append(cands, cand{id, disTo(m, q, id)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dis != cands[j].dis {
+			return cands[i].dis < cands[j].dis
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]kg.EntityID, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package embedding
+
+// raceEnabled reports whether the race detector is active; the Hogwild
+// trainer's lock-free updates are intentional data races that -race would
+// (correctly, but unhelpfully) flag.
+const raceEnabled = true

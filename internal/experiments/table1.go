@@ -1,0 +1,33 @@
+package experiments
+
+// Table1Row mirrors the paper's Table I: dataset statistics.
+type Table1Row struct {
+	Dataset       string
+	Entities      int
+	RelationTypes int
+	Edges         int
+	MaxDegree     int
+	MeanDegree    float64
+}
+
+// Table1 computes the statistics of the three generated datasets (the
+// stand-ins for the paper's Freebase / Movie / Amazon; DESIGN.md §3).
+func Table1(scale Scale) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range []string{"freebase", "movie", "amazon"} {
+		ds, err := LoadDataset(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		st := ds.G.Stats()
+		rows = append(rows, Table1Row{
+			Dataset:       name,
+			Entities:      st.Entities,
+			RelationTypes: st.RelationTypes,
+			Edges:         st.Edges,
+			MaxDegree:     st.MaxDegree,
+			MeanDegree:    st.MeanDegree,
+		})
+	}
+	return rows, nil
+}

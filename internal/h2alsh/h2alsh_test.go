@@ -1,0 +1,201 @@
+package h2alsh
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomData(n, dim int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n*dim)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return data
+}
+
+func bruteMIPS(dim int, data, q []float64, k int, skip func(int32) bool) []Result {
+	n := len(data) / dim
+	res := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		id := int32(i)
+		if skip != nil && skip(id) {
+			continue
+		}
+		var dot float64
+		for j, v := range q {
+			dot += data[i*dim+j] * v
+		}
+		res = append(res, Result{ID: id, Score: dot})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Score != res[j].Score {
+			return res[i].Score > res[j].Score
+		}
+		return res[i].ID < res[j].ID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+func recallAtK(got, want []Result) float64 {
+	w := make(map[int32]bool, len(want))
+	for _, r := range want {
+		w[r.ID] = true
+	}
+	hit := 0
+	for _, r := range got {
+		if w[r.ID] {
+			hit++
+		}
+	}
+	if len(want) == 0 {
+		return 1
+	}
+	return float64(hit) / float64(len(want))
+}
+
+func TestTopKRecall(t *testing.T) {
+	dim := 16
+	data := randomData(3000, dim, 1)
+	idx, err := New(dim, data, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var total float64
+	const queries = 30
+	for qi := 0; qi < queries; qi++ {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		got, _ := idx.TopK(q, 10, nil)
+		want := bruteMIPS(dim, data, q, 10, nil)
+		total += recallAtK(got, want)
+	}
+	if avg := total / queries; avg < 0.8 {
+		t.Fatalf("average recall@10 = %.3f, want >= 0.8", avg)
+	}
+}
+
+func TestLayersOrderedByNorm(t *testing.T) {
+	dim := 8
+	data := randomData(2000, dim, 3)
+	idx, err := New(dim, data, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if idx.NumLayers() < 2 {
+		t.Fatalf("expected multiple norm layers, got %d", idx.NumLayers())
+	}
+	for i := 1; i < len(idx.layers); i++ {
+		if idx.layers[i].maxNorm > idx.layers[i-1].maxNorm {
+			t.Fatalf("layer %d maxNorm %v > layer %d maxNorm %v",
+				i, idx.layers[i].maxNorm, i-1, idx.layers[i-1].maxNorm)
+		}
+	}
+	// Every point must land in exactly one layer.
+	seen := make(map[int32]bool)
+	for _, l := range idx.layers {
+		for _, id := range l.ids {
+			if seen[id] {
+				t.Fatalf("point %d in two layers", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != idx.n {
+		t.Fatalf("layers cover %d of %d points", len(seen), idx.n)
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	// With a query aligned to the largest-norm item, deep layers should not
+	// be probed.
+	dim := 8
+	rng := rand.New(rand.NewSource(4))
+	n := 2000
+	data := make([]float64, n*dim)
+	for i := 0; i < n; i++ {
+		scale := rng.Float64() + 0.01
+		for j := 0; j < dim; j++ {
+			data[i*dim+j] = rng.NormFloat64() * scale
+		}
+	}
+	// Make item 0 dominant.
+	for j := 0; j < dim; j++ {
+		data[j] = 100
+	}
+	idx, err := New(dim, data, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	q := make([]float64, dim)
+	for j := range q {
+		q[j] = 1
+	}
+	got, stats := idx.TopK(q, 1, nil)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("TopK = %+v, want item 0", got)
+	}
+	if stats.LayersProbed >= idx.NumLayers() {
+		t.Fatalf("probed all %d layers; early termination failed", stats.LayersProbed)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	dim := 8
+	data := randomData(500, dim, 5)
+	idx, err := New(dim, data, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	q := make([]float64, dim)
+	q[0] = 1
+	full, _ := idx.TopK(q, 3, nil)
+	if len(full) == 0 {
+		t.Fatal("no results")
+	}
+	banned := full[0].ID
+	res, _ := idx.TopK(q, 3, func(id int32) bool { return id == banned })
+	for _, r := range res {
+		if r.ID == banned {
+			t.Fatalf("skipped id %d returned", banned)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if _, err := New(0, nil, DefaultConfig()); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := New(4, []float64{1}, DefaultConfig()); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+	idx, err := New(4, nil, DefaultConfig())
+	if err != nil {
+		t.Fatalf("empty data rejected: %v", err)
+	}
+	if res, _ := idx.TopK([]float64{1, 0, 0, 0}, 5, nil); len(res) != 0 {
+		t.Fatalf("empty index returned %d results", len(res))
+	}
+	// All-zero vectors must not divide by zero.
+	zeros := make([]float64, 10*4)
+	idx, err = New(4, zeros, DefaultConfig())
+	if err != nil {
+		t.Fatalf("zero data rejected: %v", err)
+	}
+	res, _ := idx.TopK([]float64{1, 1, 1, 1}, 3, nil)
+	if len(res) != 3 {
+		t.Fatalf("got %d results over zero vectors, want 3", len(res))
+	}
+	for _, r := range res {
+		if r.Score != 0 {
+			t.Fatalf("score %v over zero vectors, want 0", r.Score)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package jl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkApply(b *testing.B) {
+	tf := New(50, 3, 1)
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	out := make([]float64, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tf.ApplyInto(out, x)
+	}
+}
+
+func BenchmarkApplyAll(b *testing.B) {
+	tf := New(50, 3, 1)
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 10000*50)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tf.ApplyAll(xs)
+	}
+}

@@ -1,0 +1,47 @@
+package kg
+
+import "fmt"
+
+// InsertTripleDynamic records a new fact in a frozen graph, maintaining the
+// sorted adjacency lists incrementally. It is the update path for dynamic
+// knowledge graphs (the paper's Section VIII future work): entities keep
+// their ids, lookups stay O(log degree), and the virtual-knowledge-graph
+// engine reflects the new edge immediately (a newly recorded fact stops
+// being predicted, since predictions cover E' only).
+func (g *Graph) InsertTripleDynamic(h EntityID, r RelationID, t EntityID) error {
+	if !g.frozen {
+		return g.AddTriple(h, r, t)
+	}
+	if h < 0 || int(h) >= len(g.entities) {
+		return fmt.Errorf("kg: head entity %d out of range [0,%d)", h, len(g.entities))
+	}
+	if t < 0 || int(t) >= len(g.entities) {
+		return fmt.Errorf("kg: tail entity %d out of range [0,%d)", t, len(g.entities))
+	}
+	if r < 0 || int(r) >= len(g.relations) {
+		return fmt.Errorf("kg: relation %d out of range [0,%d)", r, len(g.relations))
+	}
+	if g.HasEdge(h, r, t) {
+		return nil
+	}
+	g.triples = append(g.triples, Triple{H: h, R: r, T: t})
+	g.tails[edgeKey{h, r}] = insertSortedID(g.tails[edgeKey{h, r}], t)
+	g.heads[edgeKey{t, r}] = insertSortedID(g.heads[edgeKey{t, r}], h)
+	return nil
+}
+
+func insertSortedID(s []EntityID, x EntityID) []EntityID {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = x
+	return s
+}

@@ -1,0 +1,413 @@
+// Package kg implements the knowledge-graph store that underlies a virtual
+// knowledge graph: typed entities, named relationship types, (h, r, t)
+// triples with O(1) edge-membership tests, and numeric entity attributes for
+// aggregate queries.
+//
+// The store is append-oriented: entities and relations are created once and
+// referred to by dense int32 ids, which the embedding trainer and the spatial
+// indices use as array indices.
+package kg
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// EntityID identifies an entity; ids are dense, starting at 0.
+type EntityID = int32
+
+// RelationID identifies a relationship type; ids are dense, starting at 0.
+type RelationID = int32
+
+// Triple is a single (head, relation, tail) fact.
+type Triple struct {
+	H EntityID
+	R RelationID
+	T EntityID
+}
+
+// Entity is a vertex of the knowledge graph.
+type Entity struct {
+	ID   EntityID
+	Name string
+	Type string
+}
+
+// Relation is a relationship type (edge label).
+type Relation struct {
+	ID   RelationID
+	Name string
+}
+
+type edgeKey struct {
+	E EntityID
+	R RelationID
+}
+
+// Graph is an in-memory knowledge graph.
+//
+// Graph is not safe for concurrent mutation; once fully built it is safe for
+// concurrent reads.
+type Graph struct {
+	entities  []Entity
+	relations []Relation
+	triples   []Triple
+
+	entityByName   map[string]EntityID
+	relationByName map[string]RelationID
+
+	// tails[h,r] / heads[t,r] hold the adjacent entity sets, sorted after
+	// Freeze for binary-search membership.
+	tails map[edgeKey][]EntityID
+	heads map[edgeKey][]EntityID
+
+	// attrs holds numeric attribute columns keyed by attribute name. A
+	// column is indexed by EntityID; missing values are NaN.
+	attrs map[string][]float64
+
+	// seen dedupes triples in O(1) during construction; dropped by Freeze.
+	seen map[Triple]struct{}
+
+	frozen bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		entityByName:   make(map[string]EntityID),
+		relationByName: make(map[string]RelationID),
+		tails:          make(map[edgeKey][]EntityID),
+		heads:          make(map[edgeKey][]EntityID),
+		attrs:          make(map[string][]float64),
+		seen:           make(map[Triple]struct{}),
+	}
+}
+
+// AddEntity creates an entity and returns its id. Names need not be unique;
+// the first entity with a given name wins the name lookup.
+func (g *Graph) AddEntity(name, typ string) EntityID {
+	id := EntityID(len(g.entities))
+	g.entities = append(g.entities, Entity{ID: id, Name: name, Type: typ})
+	if _, ok := g.entityByName[name]; !ok {
+		g.entityByName[name] = id
+	}
+	for _, col := range g.attrs {
+		_ = col // columns are grown lazily in SetAttr
+	}
+	return id
+}
+
+// AddRelation creates a relationship type and returns its id. Adding a name
+// that already exists returns the existing id.
+func (g *Graph) AddRelation(name string) RelationID {
+	if id, ok := g.relationByName[name]; ok {
+		return id
+	}
+	id := RelationID(len(g.relations))
+	g.relations = append(g.relations, Relation{ID: id, Name: name})
+	g.relationByName[name] = id
+	return id
+}
+
+// AddTriple records the fact (h, r, t). It returns an error if any id is out
+// of range. Duplicate triples are ignored (the graph stores facts as a set).
+func (g *Graph) AddTriple(h EntityID, r RelationID, t EntityID) error {
+	if g.frozen {
+		return errors.New("kg: graph is frozen")
+	}
+	if h < 0 || int(h) >= len(g.entities) {
+		return fmt.Errorf("kg: head entity %d out of range [0,%d)", h, len(g.entities))
+	}
+	if t < 0 || int(t) >= len(g.entities) {
+		return fmt.Errorf("kg: tail entity %d out of range [0,%d)", t, len(g.entities))
+	}
+	if r < 0 || int(r) >= len(g.relations) {
+		return fmt.Errorf("kg: relation %d out of range [0,%d)", r, len(g.relations))
+	}
+	tr := Triple{H: h, R: r, T: t}
+	if _, dup := g.seen[tr]; dup {
+		return nil
+	}
+	g.seen[tr] = struct{}{}
+	g.triples = append(g.triples, tr)
+	g.tails[edgeKey{h, r}] = append(g.tails[edgeKey{h, r}], t)
+	g.heads[edgeKey{t, r}] = append(g.heads[edgeKey{t, r}], h)
+	return nil
+}
+
+// MustAddTriple is AddTriple that panics on error; for generators and tests
+// where ids are known valid by construction.
+func (g *Graph) MustAddTriple(h EntityID, r RelationID, t EntityID) {
+	if err := g.AddTriple(h, r, t); err != nil {
+		panic(err)
+	}
+}
+
+// Freeze sorts adjacency lists so HasEdge runs in O(log degree), and marks
+// the graph immutable. Freeze is idempotent.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	g.seen = nil
+	for k, v := range g.tails {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		g.tails[k] = v
+	}
+	for k, v := range g.heads {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		g.heads[k] = v
+	}
+	g.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+func contains(sorted []EntityID, x EntityID, frozen bool) bool {
+	if frozen {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
+		return i < len(sorted) && sorted[i] == x
+	}
+	for _, v := range sorted {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdge reports whether the fact (h, r, t) is in E.
+func (g *Graph) HasEdge(h EntityID, r RelationID, t EntityID) bool {
+	return contains(g.tails[edgeKey{h, r}], t, g.frozen)
+}
+
+// Tails returns the tail entities t with (h, r, t) in E. The returned slice
+// is owned by the graph and must not be mutated.
+func (g *Graph) Tails(h EntityID, r RelationID) []EntityID { return g.tails[edgeKey{h, r}] }
+
+// Heads returns the head entities h with (h, r, t) in E. The returned slice
+// is owned by the graph and must not be mutated.
+func (g *Graph) Heads(t EntityID, r RelationID) []EntityID { return g.heads[edgeKey{t, r}] }
+
+// NumEntities returns the number of entities.
+func (g *Graph) NumEntities() int { return len(g.entities) }
+
+// NumRelations returns the number of relationship types.
+func (g *Graph) NumRelations() int { return len(g.relations) }
+
+// NumTriples returns the number of triples (edges in E).
+func (g *Graph) NumTriples() int { return len(g.triples) }
+
+// Entity returns the entity with the given id.
+func (g *Graph) Entity(id EntityID) Entity { return g.entities[id] }
+
+// Relation returns the relation with the given id.
+func (g *Graph) Relation(id RelationID) Relation { return g.relations[id] }
+
+// Triples returns the triple list. The returned slice is owned by the graph
+// and must not be mutated.
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// EntityByName returns the id of the first entity added with the given name.
+func (g *Graph) EntityByName(name string) (EntityID, bool) {
+	id, ok := g.entityByName[name]
+	return id, ok
+}
+
+// RelationByName returns the id of the relation with the given name.
+func (g *Graph) RelationByName(name string) (RelationID, bool) {
+	id, ok := g.relationByName[name]
+	return id, ok
+}
+
+// Entities returns all entities. The returned slice is owned by the graph.
+func (g *Graph) Entities() []Entity { return g.entities }
+
+// Relations returns all relationship types. The slice is owned by the graph.
+func (g *Graph) Relations() []Relation { return g.relations }
+
+// EntitiesOfType returns the ids of all entities with the given type, in id
+// order.
+func (g *Graph) EntitiesOfType(typ string) []EntityID {
+	var out []EntityID
+	for _, e := range g.entities {
+		if e.Type == typ {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// SetAttr sets numeric attribute name of entity id to v, growing the column
+// as needed. Unset values read as NaN.
+func (g *Graph) SetAttr(name string, id EntityID, v float64) {
+	col := g.attrs[name]
+	if col == nil {
+		col = make([]float64, 0, len(g.entities))
+	}
+	for len(col) <= int(id) {
+		col = append(col, math.NaN())
+	}
+	col[id] = v
+	g.attrs[name] = col
+}
+
+// Attr returns the value of attribute name for entity id, and whether it is
+// set.
+func (g *Graph) Attr(name string, id EntityID) (float64, bool) {
+	col := g.attrs[name]
+	if int(id) >= len(col) {
+		return 0, false
+	}
+	v := col[id]
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// AttrColumn returns the raw attribute column (indexed by EntityID, NaN for
+// missing) and whether the attribute exists. The slice is owned by the graph.
+func (g *Graph) AttrColumn(name string) ([]float64, bool) {
+	col, ok := g.attrs[name]
+	return col, ok
+}
+
+// AttrNames returns the names of all attribute columns, sorted.
+func (g *Graph) AttrNames() []string {
+	names := make([]string, 0, len(g.attrs))
+	for n := range g.attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Degree returns in-degree + out-degree of entity id across all relations.
+// The paper's Freebase "popularity" attribute is exactly this quantity.
+func (g *Graph) Degree(id EntityID) int {
+	n := 0
+	for _, t := range g.triples {
+		if t.H == id || t.T == id {
+			n++
+		}
+	}
+	return n
+}
+
+// Degrees returns the degree (in + out) of every entity in one pass.
+func (g *Graph) Degrees() []int {
+	deg := make([]int, len(g.entities))
+	for _, t := range g.triples {
+		deg[t.H]++
+		deg[t.T]++
+	}
+	return deg
+}
+
+// Stats summarizes the graph as in the paper's Table I.
+type Stats struct {
+	Entities      int
+	RelationTypes int
+	Edges         int
+	MaxDegree     int
+	MeanDegree    float64
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{
+		Entities:      len(g.entities),
+		RelationTypes: len(g.relations),
+		Edges:         len(g.triples),
+	}
+	if len(g.entities) == 0 {
+		return s
+	}
+	deg := g.Degrees()
+	total := 0
+	for _, d := range deg {
+		total += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	s.MeanDegree = float64(total) / float64(len(deg))
+	return s
+}
+
+// gobGraph is the wire representation for gob persistence.
+type gobGraph struct {
+	Entities  []Entity
+	Relations []Relation
+	Triples   []Triple
+	Attrs     map[string][]float64
+}
+
+// Save writes the graph to w in gob format.
+func (g *Graph) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(gobGraph{
+		Entities:  g.entities,
+		Relations: g.relations,
+		Triples:   g.triples,
+		Attrs:     g.attrs,
+	})
+}
+
+// Load reads a graph previously written by Save and freezes it.
+func Load(r io.Reader) (*Graph, error) {
+	var wire gobGraph
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("kg: decode graph: %w", err)
+	}
+	g := NewGraph()
+	g.entities = wire.Entities
+	g.relations = wire.Relations
+	if wire.Attrs != nil {
+		g.attrs = wire.Attrs
+	}
+	for _, e := range g.entities {
+		if _, ok := g.entityByName[e.Name]; !ok {
+			g.entityByName[e.Name] = e.ID
+		}
+	}
+	for _, rel := range g.relations {
+		g.relationByName[rel.Name] = rel.ID
+	}
+	for _, t := range wire.Triples {
+		if err := g.AddTriple(t.H, t.R, t.T); err != nil {
+			return nil, err
+		}
+	}
+	g.Freeze()
+	return g, nil
+}
+
+// SaveFile writes the graph to path.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

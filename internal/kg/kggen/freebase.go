@@ -1,0 +1,167 @@
+package kggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vkgraph/internal/kg"
+)
+
+// FreebaseConfig parameterizes the Freebase-like heterogeneous generator.
+type FreebaseConfig struct {
+	EntityTypes   int // number of entity types (people, films, professions, ...)
+	Entities      int // total entities across all types
+	RelationTypes int // number of relationship types
+	Edges         int // target edge count
+	// MicroSize is the mean size of a micro-community within an entity
+	// type. Real Freebase relations are highly selective (a person's
+	// professions, a film's genres): the tails reachable from one head
+	// form a small, tightly connected group. Micro-communities reproduce
+	// this selectivity, which is what gives h+r query points their tight
+	// neighborhoods.
+	MicroSize int
+	// GroupsPerHead is how many tail micro-communities one head
+	// micro-community maps to under one relation.
+	GroupsPerHead int
+	Affinity      float64
+	Seed          int64
+}
+
+// DefaultFreebaseConfig is the scale used by the Freebase experiments
+// (Figs. 3, 4, 9, 12, 15) — a laptop-scale stand-in for the 2013 dump's
+// 17.9M entities and 2,355 relation types. Relation usage is Zipf-skewed as
+// in the real data, where a few relations carry most edges.
+func DefaultFreebaseConfig() FreebaseConfig {
+	return FreebaseConfig{
+		EntityTypes:   24,
+		Entities:      24000,
+		RelationTypes: 120,
+		Edges:         300000,
+		MicroSize:     25,
+		GroupsPerHead: 2,
+		Affinity:      0.90,
+		Seed:          3,
+	}
+}
+
+// TinyFreebaseConfig is a fast variant for tests.
+func TinyFreebaseConfig() FreebaseConfig {
+	return FreebaseConfig{
+		EntityTypes: 5, Entities: 400, RelationTypes: 10, Edges: 4000,
+		MicroSize: 10, GroupsPerHead: 2, Affinity: 0.85, Seed: 3,
+	}
+}
+
+// Freebase generates a heterogeneous knowledge graph: EntityTypes entity
+// types with skewed populations, RelationTypes relation types each
+// constrained to one (source type, target type) pair with Zipf-skewed
+// usage, and micro-community edge selectivity. Every entity carries the
+// "popularity" attribute (degree), used by the MAX-query experiment.
+func Freebase(cfg FreebaseConfig) *kg.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := kg.NewGraph()
+
+	// Entity populations per type: skewed, at least a handful per type.
+	byType := make([][]kg.EntityID, cfg.EntityTypes)
+	microOf := make([][]int, cfg.EntityTypes)     // entity -> micro-community
+	microPool := make([][][]int, cfg.EntityTypes) // micro-community -> member indices
+	remaining := cfg.Entities
+	for ty := 0; ty < cfg.EntityTypes; ty++ {
+		share := remaining / (cfg.EntityTypes - ty)
+		if ty < cfg.EntityTypes-1 {
+			share += share / 2 // earlier types are bigger
+			if lim := remaining - (cfg.EntityTypes-ty-1)*4; share > lim {
+				share = lim
+			}
+		} else {
+			share = remaining
+		}
+		if share < 4 {
+			share = 4
+		}
+		remaining -= share
+		typ := fmt.Sprintf("type%d", ty)
+		byType[ty] = makeEntities(g, typ, fmt.Sprintf("e%d_", ty), share)
+
+		micros := share / max(1, cfg.MicroSize)
+		if micros < 1 {
+			micros = 1
+		}
+		microOf[ty] = assignClusters(rng, share, micros)
+		microPool[ty] = make([][]int, micros)
+		for i, c := range microOf[ty] {
+			microPool[ty][c] = append(microPool[ty][c], i)
+		}
+	}
+
+	// Relation schema: each relation connects a random (src, dst) type
+	// pair, and each src micro-community maps to GroupsPerHead dst
+	// micro-communities (the relation's "selectivity map").
+	type schema struct {
+		src, dst int
+		// groupMap[srcMicro] -> dst micro-communities
+		groupMap [][]int
+	}
+	rels := make([]kg.RelationID, cfg.RelationTypes)
+	schemas := make([]schema, cfg.RelationTypes)
+	for ri := 0; ri < cfg.RelationTypes; ri++ {
+		rels[ri] = g.AddRelation(fmt.Sprintf("/rel/%d", ri))
+		s := schema{src: rng.Intn(cfg.EntityTypes), dst: rng.Intn(cfg.EntityTypes)}
+		nSrcMicros := len(microPool[s.src])
+		nDstMicros := len(microPool[s.dst])
+		s.groupMap = make([][]int, nSrcMicros)
+		for m := range s.groupMap {
+			s.groupMap[m] = pickDistinct(rng, nDstMicros, min(cfg.GroupsPerHead, nDstMicros))
+		}
+		schemas[ri] = s
+	}
+
+	// Edge budget per relation: Zipf over relation rank, so a few
+	// relations carry most edges, mirroring real Freebase.
+	relPick := rand.NewZipf(rng, 1.2, 1, uint64(cfg.RelationTypes-1))
+	budget := make([]int, cfg.RelationTypes)
+	for i := 0; i < cfg.Edges; i++ {
+		budget[relPick.Uint64()]++
+	}
+
+	for ri, want := range budget {
+		if want == 0 {
+			continue
+		}
+		s := schemas[ri]
+		heads := byType[s.src]
+		tails := byType[s.dst]
+		hp := newZipfPicker(rng, len(heads), 1.25)
+		tp := newZipfPicker(rng, len(tails), 1.25)
+		before := g.NumTriples()
+		for attempts := 0; attempts < want*4 && g.NumTriples()-before < want; attempts++ {
+			hi := hp.pick()
+			var ti int
+			if rng.Float64() < cfg.Affinity {
+				groups := s.groupMap[microOf[s.src][hi]]
+				pool := microPool[s.dst][groups[rng.Intn(len(groups))]]
+				if len(pool) == 0 {
+					continue
+				}
+				ti = pool[rng.Intn(len(pool))]
+			} else {
+				ti = tp.pick()
+			}
+			if heads[hi] == tails[ti] {
+				continue
+			}
+			g.MustAddTriple(heads[hi], rels[ri], tails[ti])
+		}
+	}
+
+	setPopularity(g)
+	g.Freeze()
+	return g
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,218 @@
+package kggen
+
+import (
+	"math/rand"
+
+	"vkgraph/internal/kg"
+)
+
+// MovieConfig parameterizes the MovieLens-like generator.
+type MovieConfig struct {
+	Users   int // number of user entities
+	Movies  int // number of movie entities
+	Genres  int // number of genre entities
+	Tags    int // number of tag entities
+	Ratings int // target number of likes+dislikes edges
+	// MicroSize is the mean size of a movie micro-cluster: a group of
+	// near-substitutable movies that attract the same audience. Real
+	// rating data is full of such near-duplicate neighborhoods (sequels,
+	// franchises, niche genres); they are what gives the embedding its
+	// tight query neighborhoods.
+	MicroSize int
+	// Prefs is how many micro-clusters a user likes (and how many they
+	// dislike).
+	Prefs    int
+	Affinity float64 // probability a rating lands in a preferred micro
+	Seed     int64
+}
+
+// DefaultMovieConfig is the scale used by the Movie experiments (Figs. 5, 6,
+// 10, 13, 16) — a laptop-scale stand-in for MovieLens's 312k entities.
+func DefaultMovieConfig() MovieConfig {
+	return MovieConfig{
+		Users:     4000,
+		Movies:    8000,
+		Genres:    20,
+		Tags:      400,
+		Ratings:   240000,
+		MicroSize: 25,
+		Prefs:     1,
+		Affinity:  0.85,
+		Seed:      7,
+	}
+}
+
+// TinyMovieConfig is a fast variant for unit and integration tests.
+func TinyMovieConfig() MovieConfig {
+	return MovieConfig{
+		Users: 120, Movies: 240, Genres: 6, Tags: 20,
+		Ratings: 2400, MicroSize: 12, Prefs: 2, Affinity: 0.85, Seed: 7,
+	}
+}
+
+// Movie generates a MovieLens-like knowledge graph with relations "likes",
+// "dislikes", "has-genre", and "has-tag" (the paper's Movie schema), a movie
+// attribute "year", and a user attribute "age".
+//
+// Ratings follow the paper's derivation from the 5-star scale: an
+// interaction with a preferred micro-cluster rates high ("likes" when the
+// latent rating is >= 4.0), one with a disliked micro-cluster rates low
+// ("dislikes" when <= 2.0), and mid-scale ratings produce no edge.
+func Movie(cfg MovieConfig) *kg.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := kg.NewGraph()
+
+	likes := g.AddRelation("likes")
+	dislikes := g.AddRelation("dislikes")
+	hasGenre := g.AddRelation("has-genre")
+	hasTag := g.AddRelation("has-tag")
+
+	users := makeEntities(g, "user", "user", cfg.Users)
+	movies := makeEntities(g, "movie", "movie", cfg.Movies)
+	genres := makeEntities(g, "genre", "genre", cfg.Genres)
+	tags := makeEntities(g, "tag", "tag", cfg.Tags)
+
+	// Movie micro-clusters.
+	micros := cfg.Movies / max(1, cfg.MicroSize)
+	if micros < 1 {
+		micros = 1
+	}
+	mc := assignClusters(rng, cfg.Movies, micros)
+	pool := make([][]int, micros)
+	for i, c := range mc {
+		pool[c] = append(pool[c], i)
+	}
+
+	// Attributes: movie release year (older movies rarer), user age.
+	for _, m := range movies {
+		year := 2020 - int(rng.ExpFloat64()*12)
+		if year < 1920 {
+			year = 1920
+		}
+		g.SetAttr("year", m, float64(year))
+	}
+	for _, u := range users {
+		g.SetAttr("age", u, float64(16+rng.Intn(60)))
+	}
+
+	// Users form taste communities of about MicroSize members; each
+	// community shares a small set of liked and disliked movie
+	// micro-clusters. Shared preferences are what make the rating graph
+	// block-structured (community x movie-group), which is the structure
+	// the embedding can collapse into tight query neighborhoods — a per-
+	// user random preference set would make the bipartite graph an
+	// expander that no embedding separates. Activity is Zipf-skewed and
+	// capped so no user exhausts their community's candidate pool.
+	userMicros := cfg.Users / max(1, cfg.MicroSize)
+	if userMicros < 1 {
+		userMicros = 1
+	}
+	uc := assignClusters(rng, cfg.Users, userMicros)
+	nPref := cfg.Prefs * 2
+	if nPref > micros {
+		nPref = micros
+	}
+	commPrefs := make([][]int, userMicros)
+	commAntis := make([][]int, userMicros)
+	for c := range commPrefs {
+		commPrefs[c] = pickDistinct(rng, micros, nPref)
+		commAntis[c] = pickDistinct(rng, micros, nPref)
+	}
+
+	// Activity: exponential with a heavy-ish tail, capped so a user cannot
+	// exhaust the community pool (which would push their predictive top-k
+	// answers arbitrarily far away).
+	mean := float64(cfg.Ratings) / float64(cfg.Users)
+	maxPerUser := nPref * cfg.MicroSize * 3 / 2
+	for ui := 0; ui < cfg.Users; ui++ {
+		cnt := int(mean/2 + rng.ExpFloat64()*mean/2)
+		if cnt > maxPerUser {
+			cnt = maxPerUser
+		}
+		prefs := commPrefs[uc[ui]]
+		antis := commAntis[uc[ui]]
+		for j := 0; j < cnt; j++ {
+			liked := rng.Float64() < 0.75 // likes outnumber dislikes, as in MovieLens
+			set := prefs
+			if !liked {
+				set = antis
+			}
+			var mi int
+			if rng.Float64() < cfg.Affinity {
+				c := set[rng.Intn(len(set))]
+				if len(pool[c]) == 0 {
+					continue
+				}
+				mi = pool[c][rng.Intn(len(pool[c]))]
+			} else {
+				mi = rng.Intn(cfg.Movies)
+			}
+			var stars float64
+			if liked {
+				stars = 4.2 + rng.NormFloat64()*0.6
+			} else {
+				stars = 1.8 + rng.NormFloat64()*0.6
+			}
+			switch {
+			case stars >= 4.0:
+				g.MustAddTriple(users[ui], likes, movies[mi])
+			case stars <= 2.0:
+				g.MustAddTriple(users[ui], dislikes, movies[mi])
+			}
+		}
+	}
+
+	// Genre edges: a micro-cluster belongs to 1-2 genres, so genre and
+	// rating structure are consistent.
+	microGenre := make([]int, micros)
+	for c := range microGenre {
+		microGenre[c] = rng.Intn(cfg.Genres)
+	}
+	for i, m := range movies {
+		g.MustAddTriple(m, hasGenre, genres[microGenre[mc[i]]])
+		if rng.Float64() < 0.3 {
+			g.MustAddTriple(m, hasGenre, genres[rng.Intn(cfg.Genres)])
+		}
+	}
+	// Tag edges: Zipf-popular tags on a subset of movies.
+	if cfg.Tags > 0 {
+		tp := newZipfPicker(rng, cfg.Tags, 1.1)
+		for _, m := range movies {
+			for j := 0; j < rng.Intn(3); j++ {
+				g.MustAddTriple(m, hasTag, tags[tp.pick()])
+			}
+		}
+	}
+
+	setPopularity(g)
+	g.Freeze()
+	return g
+}
+
+// pickDistinct draws k distinct values from [0, n).
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package kg
+
+import "math/rand"
+
+// Split partitions the graph's triples into a training graph and a held-out
+// test set by masking a random fraction of edges, as the paper does when
+// probing whether masked edges surface in predictive top-k results. The
+// returned graph shares entity/relation/attribute tables with g but owns its
+// own (reduced) triple set.
+//
+// Split never masks the last remaining edge of an entity when keepConnected
+// is true, so every entity still appears in at least one training triple and
+// therefore receives a trained embedding.
+func Split(g *Graph, fraction float64, keepConnected bool, rng *rand.Rand) (train *Graph, test []Triple) {
+	if fraction < 0 || fraction >= 1 {
+		panic("kg: Split fraction must be in [0, 1)")
+	}
+	triples := g.Triples()
+	perm := rng.Perm(len(triples))
+	mask := int(float64(len(triples)) * fraction)
+
+	deg := g.Degrees()
+	masked := make(map[int]bool, mask)
+	for _, idx := range perm {
+		if len(masked) >= mask {
+			break
+		}
+		t := triples[idx]
+		if keepConnected && (deg[t.H] <= 1 || deg[t.T] <= 1) {
+			continue
+		}
+		masked[idx] = true
+		deg[t.H]--
+		deg[t.T]--
+	}
+
+	train = NewGraph()
+	train.entities = g.entities
+	train.relations = g.relations
+	train.attrs = g.attrs
+	for n, id := range g.entityByName {
+		train.entityByName[n] = id
+	}
+	for n, id := range g.relationByName {
+		train.relationByName[n] = id
+	}
+	for idx, t := range triples {
+		if masked[idx] {
+			test = append(test, t)
+			continue
+		}
+		if err := train.AddTriple(t.H, t.R, t.T); err != nil {
+			panic(err) // ids are valid by construction
+		}
+	}
+	train.Freeze()
+	return train, test
+}

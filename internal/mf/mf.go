@@ -1,0 +1,135 @@
+// Package mf implements SGD matrix factorization over a single relationship
+// type (classic collaborative filtering). It exists as the substrate for the
+// H2-ALSH baseline: H2-ALSH (Huang et al., KDD 2018) answers maximum
+// inner-product search over CF factor vectors and — as the paper stresses —
+// can therefore handle only one relationship type at a time, unlike the
+// virtual-knowledge-graph index.
+package mf
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vkgraph/internal/kg"
+)
+
+// Config holds matrix-factorization hyperparameters.
+type Config struct {
+	Dim          int     // latent factor dimensionality
+	Epochs       int     // SGD passes
+	LearningRate float64 //
+	Reg          float64 // L2 regularization
+	Negatives    int     // implicit-feedback negative samples per positive
+	Seed         int64
+}
+
+// DefaultConfig mirrors the factor sizes used for the H2-ALSH comparison.
+func DefaultConfig() Config {
+	return Config{Dim: 32, Epochs: 20, LearningRate: 0.05, Reg: 0.01, Negatives: 2, Seed: 13}
+}
+
+// Model holds the learned factors. Head entities (e.g. users) index U, tail
+// entities (e.g. items) index V; both are addressed by graph EntityID, so
+// rows for entities that never appear on that side simply stay at their
+// random initialization.
+type Model struct {
+	Dim int
+	U   []float64 // numEntities x Dim
+	V   []float64 // numEntities x Dim
+}
+
+// UserVec returns a view of the head-side factor for entity id.
+func (m *Model) UserVec(id kg.EntityID) []float64 {
+	return m.U[int(id)*m.Dim : (int(id)+1)*m.Dim]
+}
+
+// ItemVec returns a view of the tail-side factor for entity id.
+func (m *Model) ItemVec(id kg.EntityID) []float64 {
+	return m.V[int(id)*m.Dim : (int(id)+1)*m.Dim]
+}
+
+// Score returns the inner product <U[h], V[t]>; larger means the edge
+// (h, rel, t) is more plausible.
+func (m *Model) Score(h, t kg.EntityID) float64 {
+	u, v := m.UserVec(h), m.ItemVec(t)
+	var s float64
+	for i := range u {
+		s += u[i] * v[i]
+	}
+	return s
+}
+
+// Train fits implicit-feedback matrix factorization to the edges of a single
+// relation rel in g: observed edges get target 1, sampled negatives target
+// 0, squared loss with L2 regularization.
+func Train(g *kg.Graph, rel kg.RelationID, cfg Config) (*Model, error) {
+	if cfg.Dim <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("mf: invalid config dim=%d epochs=%d", cfg.Dim, cfg.Epochs)
+	}
+	var edges []kg.Triple
+	for _, t := range g.Triples() {
+		if t.R == rel {
+			edges = append(edges, t)
+		}
+	}
+	if len(edges) == 0 {
+		return nil, errors.New("mf: relation has no edges")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nE, d := g.NumEntities(), cfg.Dim
+	m := &Model{Dim: d, U: make([]float64, nE*d), V: make([]float64, nE*d)}
+	for i := range m.U {
+		m.U[i] = rng.NormFloat64() * 0.1
+	}
+	for i := range m.V {
+		m.V[i] = rng.NormFloat64() * 0.1
+	}
+
+	// Tails of rel, for negative sampling over plausible items only.
+	tailSet := make(map[kg.EntityID]struct{})
+	for _, e := range edges {
+		tailSet[e.T] = struct{}{}
+	}
+	tails := make([]kg.EntityID, 0, len(tailSet))
+	for t := range tailSet {
+		tails = append(tails, t)
+	}
+	// Deterministic order (map iteration is random).
+	sort.Slice(tails, func(i, j int) bool { return tails[i] < tails[j] })
+
+	order := rng.Perm(len(edges))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ei := range order {
+			e := edges[ei]
+			m.step(e.H, e.T, 1, cfg)
+			for n := 0; n < cfg.Negatives; n++ {
+				cand := tails[rng.Intn(len(tails))]
+				if g.HasEdge(e.H, rel, cand) {
+					continue
+				}
+				m.step(e.H, cand, 0, cfg)
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *Model) step(h, t kg.EntityID, target float64, cfg Config) {
+	u, v := m.UserVec(h), m.ItemVec(t)
+	var pred float64
+	for i := range u {
+		pred += u[i] * v[i]
+	}
+	err := pred - target
+	lr := cfg.LearningRate
+	for i := range u {
+		gu := err*v[i] + cfg.Reg*u[i]
+		gv := err*u[i] + cfg.Reg*v[i]
+		u[i] -= lr * gu
+		v[i] -= lr * gv
+	}
+}

@@ -1,0 +1,103 @@
+package mf
+
+import (
+	"testing"
+
+	"vkgraph/internal/kg"
+	"vkgraph/internal/kg/kggen"
+)
+
+func testGraph() (*kg.Graph, kg.RelationID) {
+	g := kggen.Movie(kggen.TinyMovieConfig())
+	rel, _ := g.RelationByName("likes")
+	return g, rel
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Epochs = 8
+	cfg.Dim = 8
+	return cfg
+}
+
+func TestTrainValidation(t *testing.T) {
+	g, rel := testGraph()
+	bad := fastConfig()
+	bad.Dim = 0
+	if _, err := Train(g, rel, bad); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	// A relation with no edges must error.
+	empty := kg.NewGraph()
+	empty.AddEntity("a", "t")
+	r := empty.AddRelation("r")
+	if _, err := Train(empty, r, fastConfig()); err == nil {
+		t.Fatal("empty relation accepted")
+	}
+}
+
+func TestObservedEdgesScoreHigher(t *testing.T) {
+	g, rel := testGraph()
+	m, err := Train(g, rel, fastConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var posSum, negSum float64
+	var posN, negN int
+	for _, tr := range g.Triples() {
+		if tr.R != rel {
+			continue
+		}
+		posSum += m.Score(tr.H, tr.T)
+		posN++
+		// A corrupted tail.
+		cand := kg.EntityID((int(tr.T) + 17) % g.NumEntities())
+		if !g.HasEdge(tr.H, rel, cand) {
+			negSum += m.Score(tr.H, cand)
+			negN++
+		}
+	}
+	if posN == 0 || negN == 0 {
+		t.Fatal("no comparisons made")
+	}
+	if posSum/float64(posN) <= negSum/float64(negN) {
+		t.Fatalf("observed edges do not outscore corrupted ones: %v vs %v",
+			posSum/float64(posN), negSum/float64(negN))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g, rel := testGraph()
+	a, err := Train(g, rel, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(g, rel, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestVectorViews(t *testing.T) {
+	g, rel := testGraph()
+	m, err := Train(g, rel, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.UserVec(0)) != 8 || len(m.ItemVec(0)) != 8 {
+		t.Fatal("wrong factor dimensions")
+	}
+	var dot float64
+	u, v := m.UserVec(3), m.ItemVec(5)
+	for i := range u {
+		dot += u[i] * v[i]
+	}
+	if got := m.Score(3, 5); got != dot {
+		t.Fatalf("Score = %v, want %v", got, dot)
+	}
+}

@@ -1,0 +1,39 @@
+package rtree
+
+// NewBulkLoaded builds the complete R-tree offline with the classical
+// top-down greedy-split bulk loader (Algorithm 1, BulkLoadChunk): every
+// element is partitioned all the way down to leaves, with the overlap-only
+// cost model (there is no query region to optimize for). This is the
+// "bulk-loading" baseline of Figures 3, 5, 7, 9-11.
+func NewBulkLoaded(ps *PointSet, opt Options) *Tree {
+	opt = opt.normalize()
+	t := &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), initialN: ps.N()}
+	if ps.N() == 0 {
+		t.root = &node{mbr: EmptyRect(ps.Dim), leafIDs: []int32{}}
+		return t
+	}
+	t.root = t.buildFull(newRootPartition(ps, ps.N()))
+	return t
+}
+
+// buildFull implements BulkLoadChunk: partition into at most M chunks of
+// ~equal size, recurse into each.
+func (t *Tree) buildFull(p *partition) *node {
+	p.computeMBR(t.ps)
+	if p.count() <= t.opt.LeafCap {
+		nd := &node{part: p}
+		t.toLeaf(nd)
+		return nd
+	}
+	m := t.levelM(p.count())
+	parts := t.partitionGreedy(p, m, nil)
+	children := make([]*node, 0, len(parts))
+	for _, cp := range parts {
+		children = append(children, t.buildFull(cp))
+	}
+	mbr := children[0].mbr.Clone()
+	for _, c := range children[1:] {
+		mbr.ExpandRect(c.mbr)
+	}
+	return &node{mbr: mbr, children: children}
+}

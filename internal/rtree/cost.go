@@ -1,0 +1,137 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+)
+
+// splitChoice is one candidate binary split of a partition: boundary
+// position pos of sort order s, with its two-component cost. Costs are
+// compared lexicographically with cQ as the major order and cO as the
+// secondary order (Section IV-B1).
+type splitChoice struct {
+	s, pos int
+	cq     int     // ceil(|Q∩L|/N) + ceil(|Q∩H|/N); 0 when no query region
+	co     float64 // beta^h * ||O|| / min(||L||, ||H||)
+}
+
+func (a splitChoice) less(b splitChoice) bool {
+	if a.cq != b.cq {
+		return a.cq < b.cq
+	}
+	if a.co != b.co {
+		return a.co < b.co
+	}
+	if a.s != b.s {
+		return a.s < b.s
+	}
+	return a.pos < b.pos
+}
+
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// bestSplits implements BestBinarySplit of Algorithm 1 with the revised
+// two-component cost model: it evaluates the M-1 equally spaced boundary
+// positions in every sort order and returns the topK cheapest splits,
+// cheapest first. q may be nil (bulk loading), in which case cQ is 0 for
+// every candidate and only the overlap cost discriminates.
+//
+// h is the estimated R-tree height at which the split happens, used for the
+// beta^h overlap weighting.
+func bestSplits(ps *PointSet, p *partition, m int, q *Rect, beta float64, leafCap, h, topK int) []splitChoice {
+	n := p.count()
+	nb := ceilDiv(n, m) - 1 // boundary count per order
+	if nb <= 0 {
+		return nil
+	}
+	s := len(p.orders)
+	betaH := math.Pow(beta, float64(h))
+
+	choices := make([]splitChoice, 0, s*nb)
+	// Reusable prefix/suffix MBRs at the nb boundary positions.
+	fronts := make([]Rect, nb)
+	backs := make([]Rect, nb)
+
+	for so := 0; so < s; so++ {
+		order := p.orders[so]
+
+		// ComputeBoundingBoxes: prefix MBRs (F) left-to-right, suffix
+		// MBRs (B) right-to-left, sampled at boundaries i*m.
+		run := EmptyRect(ps.Dim)
+		bi := 0
+		for i, id := range order {
+			run.Expand(ps.At(id))
+			if bi < nb && i+1 == (bi+1)*m {
+				fronts[bi] = run.Clone()
+				bi++
+			}
+		}
+		run = EmptyRect(ps.Dim)
+		bi = nb - 1
+		for i := n - 1; i >= 0; i-- {
+			run.Expand(ps.At(order[i]))
+			if bi >= 0 && i == (bi+1)*m {
+				backs[bi] = run.Clone()
+				bi--
+			}
+		}
+
+		// Query-region prefix counts at boundaries, if cracking for a query.
+		var totalQ int
+		var prefQ []int
+		if q != nil {
+			prefQ = make([]int, nb)
+			bi = 0
+			cnt := 0
+			for i, id := range order {
+				if q.Contains(ps.At(id)) {
+					cnt++
+				}
+				if bi < nb && i+1 == (bi+1)*m {
+					prefQ[bi] = cnt
+					bi++
+				}
+			}
+			totalQ = cnt
+		}
+
+		for b := 0; b < nb; b++ {
+			ch := splitChoice{s: so, pos: (b + 1) * m}
+			if q != nil {
+				qL := prefQ[b]
+				qH := totalQ - qL
+				ch.cq = ceilDiv(qL, leafCap) + ceilDiv(qH, leafCap)
+			}
+			overlap := fronts[b].OverlapVolume(backs[b])
+			minVol := math.Min(fronts[b].Volume(), backs[b].Volume())
+			if overlap > 0 && minVol > 0 {
+				ch.co = betaH * overlap / minVol
+			}
+			choices = append(choices, ch)
+		}
+	}
+
+	sort.Slice(choices, func(i, j int) bool { return choices[i].less(choices[j]) })
+	if topK < len(choices) {
+		choices = choices[:topK]
+	}
+	return choices
+}
+
+// estHeight estimates the R-tree height at which an n-point chunk sits:
+// ceil(log_M(n/N)), the height BulkLoadChunk would assign it.
+func estHeight(n, leafCap, fanout int) int {
+	if n <= leafCap {
+		return 0
+	}
+	h := 0
+	for c := float64(n) / float64(leafCap); c > 1; c /= float64(fanout) {
+		h++
+	}
+	return h
+}

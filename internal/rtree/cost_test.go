@@ -1,0 +1,160 @@
+package rtree
+
+import (
+	"math"
+	"testing"
+)
+
+// twoClusterPointSet puts n/2 points near the origin and n/2 near (10,10),
+// so the obviously correct binary split separates the clusters.
+func twoClusterPointSet(n int) *PointSet {
+	coords := make([]float64, 0, n*2)
+	for i := 0; i < n/2; i++ {
+		coords = append(coords, float64(i%7)*0.01, float64(i%5)*0.01)
+	}
+	for i := 0; i < n-n/2; i++ {
+		coords = append(coords, 10+float64(i%7)*0.01, 10+float64(i%5)*0.01)
+	}
+	return NewPointSet(2, coords)
+}
+
+func TestBestSplitsSeparatesClusters(t *testing.T) {
+	ps := twoClusterPointSet(128)
+	p := newRootPartition(ps, ps.N())
+	choices := bestSplits(ps, p, 64, nil, 2, 32, 1, 1)
+	if len(choices) == 0 {
+		t.Fatal("no split choices")
+	}
+	scratch := make([]bool, ps.N())
+	l, r := p.split(choices[0].s, choices[0].pos, scratch)
+	l.computeMBR(ps)
+	r.computeMBR(ps)
+	// The chosen split must not overlap (the clusters are separable).
+	if l.mbr.Overlaps(r.mbr) {
+		t.Fatalf("best split overlaps: %v vs %v", l.mbr, r.mbr)
+	}
+	if choices[0].co != 0 {
+		t.Fatalf("separable split has overlap cost %v", choices[0].co)
+	}
+}
+
+func TestBestSplitsQueryCostMajorOrder(t *testing.T) {
+	// With a query region covering one cluster, the best split should put
+	// that cluster alone on one side (minimal ceil(|Q∩L|/N)+ceil(|Q∩H|/N)).
+	ps := twoClusterPointSet(128)
+	p := newRootPartition(ps, ps.N())
+	q := Rect{Lo: []float64{-1, -1}, Hi: []float64{1, 1}} // first cluster
+	choices := bestSplits(ps, p, 64, &q, 2, 32, 1, 3)
+	if len(choices) == 0 {
+		t.Fatal("no split choices")
+	}
+	best := choices[0]
+	// 64 query points at leaf capacity 32 -> optimal cq is 2 (all query
+	// points on one side), and splitting them across sides would cost more.
+	if best.cq != 2 {
+		t.Fatalf("best split cq = %d, want 2", best.cq)
+	}
+	// Choices are sorted by (cq, co).
+	for i := 1; i < len(choices); i++ {
+		a, b := choices[i-1], choices[i]
+		if a.cq > b.cq || (a.cq == b.cq && a.co > b.co) {
+			t.Fatalf("choices not sorted: %+v before %+v", a, b)
+		}
+	}
+}
+
+func TestBestSplitsTopKDistinct(t *testing.T) {
+	ps := clusteredPointSet(400, 3, 4, 71)
+	p := newRootPartition(ps, ps.N())
+	choices := bestSplits(ps, p, 100, nil, 2, 32, 1, 4)
+	if len(choices) < 2 {
+		t.Fatalf("expected multiple choices, got %d", len(choices))
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range choices {
+		key := [2]int{c.s, c.pos}
+		if seen[key] {
+			t.Fatalf("duplicate choice %+v", c)
+		}
+		seen[key] = true
+		if c.pos <= 0 || c.pos >= p.count() {
+			t.Fatalf("boundary position %d out of range", c.pos)
+		}
+	}
+}
+
+func TestEstHeight(t *testing.T) {
+	if h := estHeight(10, 32, 8); h != 0 {
+		t.Fatalf("estHeight(10) = %d, want 0", h)
+	}
+	if h := estHeight(33, 32, 8); h < 1 {
+		t.Fatalf("estHeight(33) = %d, want >= 1", h)
+	}
+	// Monotone in n.
+	prev := 0
+	for n := 1; n < 100000; n *= 3 {
+		h := estHeight(n, 32, 8)
+		if h < prev {
+			t.Fatalf("estHeight not monotone at n=%d", n)
+		}
+		prev = h
+	}
+}
+
+func TestMaxSqDist(t *testing.T) {
+	r := Rect{Lo: []float64{0, 0}, Hi: []float64{2, 2}}
+	// From the center, the farthest corner is at distance sqrt(2).
+	if got := r.MaxSqDist([]float64{1, 1}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("MaxSqDist center = %v, want 2", got)
+	}
+	// From outside, max >= min.
+	p := []float64{5, 5}
+	if r.MaxSqDist(p) < r.MinSqDist(p) {
+		t.Fatal("MaxSqDist < MinSqDist")
+	}
+}
+
+func TestWalkAscendingOrder(t *testing.T) {
+	ps := clusteredPointSet(800, 3, 3, 73)
+	tr := NewCracking(ps, DefaultOptions())
+	tr.Crack(BallRect([]float64{5, 5, 5}, 2))
+	q := []float64{5, 5, 5}
+	prev := -1.0
+	count := 0
+	tr.WalkAscending(q, func(id int32, sqd float64) bool {
+		if sqd < prev {
+			t.Fatalf("walk not ascending: %v after %v", sqd, prev)
+		}
+		if got := ps.SqDistTo(id, q); math.Abs(got-sqd) > 1e-12 {
+			t.Fatalf("reported distance %v, actual %v", sqd, got)
+		}
+		prev = sqd
+		count++
+		return true
+	})
+	if count != ps.N() {
+		t.Fatalf("walk visited %d of %d points", count, ps.N())
+	}
+}
+
+func TestWalkWithinBound(t *testing.T) {
+	ps := clusteredPointSet(800, 3, 3, 74)
+	tr := NewCracking(ps, DefaultOptions())
+	q := []float64{5, 5, 5}
+	const bound = 4.0
+	visited := map[int32]bool{}
+	tr.WalkWithin(q, func() float64 { return bound }, func(id int32, sqd float64) bool {
+		if sqd > bound {
+			t.Fatalf("visited point beyond bound: %v", sqd)
+		}
+		visited[id] = true
+		return true
+	})
+	// Exactly the points within the bound are visited.
+	for i := int32(0); int(i) < ps.N(); i++ {
+		in := ps.SqDistTo(i, q) <= bound
+		if in != visited[i] {
+			t.Fatalf("point %d: in-bound=%v visited=%v", i, in, visited[i])
+		}
+	}
+}

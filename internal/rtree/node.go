@@ -1,0 +1,89 @@
+package rtree
+
+// node is a tree node in one of three states:
+//
+//   - internal: children != nil — a fully materialized R-tree node;
+//   - leaf: leafIDs != nil — at most LeafCap point entries;
+//   - pending: part != nil — a contour element that still holds raw sorted
+//     data and will be cracked on demand.
+//
+// The contour of Definition 2 is exactly the set of pending and leaf nodes.
+type node struct {
+	mbr      Rect
+	children []*node
+	leafIDs  []int32
+	part     *partition
+}
+
+func (n *node) isInternal() bool { return n.children != nil }
+func (n *node) isLeaf() bool     { return n.leafIDs != nil }
+func (n *node) isPending() bool  { return n.part != nil }
+
+// numPoints returns the number of points under the node (O(subtree) for
+// internal nodes; used by invariants and stats, not by the hot path).
+func (n *node) numPoints() int {
+	switch {
+	case n.isLeaf():
+		return len(n.leafIDs)
+	case n.isPending():
+		return n.part.count()
+	default:
+		total := 0
+		for _, c := range n.children {
+			total += c.numPoints()
+		}
+		return total
+	}
+}
+
+// countNodes tallies (internal, leaf, pending) node counts in the subtree.
+func (n *node) countNodes() (internal, leaf, pending int) {
+	switch {
+	case n.isLeaf():
+		return 0, 1, 0
+	case n.isPending():
+		return 0, 0, 1
+	default:
+		internal = 1
+		for _, c := range n.children {
+			i2, l2, p2 := c.countNodes()
+			internal += i2
+			leaf += l2
+			pending += p2
+		}
+		return internal, leaf, pending
+	}
+}
+
+// sizeBytes estimates the subtree's in-memory footprint: per-node overhead,
+// MBR coordinates, child pointers, leaf entries, and pending sort orders.
+func (n *node) sizeBytes(dim int) int {
+	sz := 64 + 2*dim*8
+	switch {
+	case n.isLeaf():
+		sz += len(n.leafIDs) * 4
+	case n.isPending():
+		sz += n.part.sizeBytes(dim)
+	default:
+		sz += len(n.children) * 8
+		for _, c := range n.children {
+			sz += c.sizeBytes(dim)
+		}
+	}
+	return sz
+}
+
+// height returns the subtree height (leaves and pending elements are
+// height 0).
+func (n *node) height() int {
+	if !n.isInternal() {
+		return 0
+	}
+	h := 0
+	for _, c := range n.children {
+		if ch := c.height(); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}

@@ -1,0 +1,156 @@
+package rtree
+
+import (
+	"sort"
+)
+
+// partition is a contour element that has data but no child structure yet:
+// the S sort orders of its point ids (S = dim, one per coordinate as the
+// points are degenerate rectangles), its MBR, and lazily computed attribute
+// statistics. Partitions are immutable once created, which lets the
+// Top-kSplitsIndexBuild candidates share split results through a cache.
+type partition struct {
+	orders [][]int32 // S sorted id lists; orders[s] sorted by coordinate s
+	mbr    Rect
+
+	stats []AttrStats // lazily built, parallel to PointSet registration
+}
+
+// newRootPartition sorts the first n points of ps into the S sort orders.
+// This is the only global sort the cracking index ever performs; it is part
+// of the first query's cost, not an offline build.
+func newRootPartition(ps *PointSet, n int) *partition {
+	s := ps.Dim
+	orders := make([][]int32, s)
+	base := make([]int32, n)
+	for i := range base {
+		base[i] = int32(i)
+	}
+	for d := 0; d < s; d++ {
+		o := make([]int32, n)
+		copy(o, base)
+		dd := d
+		sort.Slice(o, func(i, j int) bool {
+			a, b := ps.Coord(o[i], dd), ps.Coord(o[j], dd)
+			if a != b {
+				return a < b
+			}
+			return o[i] < o[j] // total order for determinism
+		})
+		orders[d] = o
+	}
+	mbr := EmptyRect(s)
+	for i := int32(0); i < int32(n); i++ {
+		mbr.Expand(ps.At(i))
+	}
+
+	return &partition{orders: orders, mbr: mbr}
+}
+
+// newPartitionFromIDs builds a partition over an explicit id set (used by
+// tests and by leaf promotion paths).
+func newPartitionFromIDs(ps *PointSet, ids []int32) *partition {
+	s := ps.Dim
+	orders := make([][]int32, s)
+	for d := 0; d < s; d++ {
+		o := make([]int32, len(ids))
+		copy(o, ids)
+		dd := d
+		sort.Slice(o, func(i, j int) bool {
+			a, b := ps.Coord(o[i], dd), ps.Coord(o[j], dd)
+			if a != b {
+				return a < b
+			}
+			return o[i] < o[j]
+		})
+		orders[d] = o
+	}
+	return &partition{orders: orders, mbr: ps.MBRof(ids)}
+}
+
+// count returns the number of points in the partition.
+func (p *partition) count() int { return len(p.orders[0]) }
+
+// ids returns one of the sorted id lists (callers that don't care about
+// order use this as "the" id set). The slice is owned by the partition.
+func (p *partition) ids() []int32 { return p.orders[0] }
+
+// countInRect returns |Q ∩ e|: the number of the partition's points inside
+// q. O(n) scan, as the paper's cost model assumes (each element stores its
+// points).
+func (p *partition) countInRect(ps *PointSet, q Rect) int {
+	if !p.mbr.Overlaps(q) {
+		return 0
+	}
+	if q.ContainsRect(p.mbr) {
+		return p.count()
+	}
+	c := 0
+	for _, id := range p.orders[0] {
+		if q.Contains(ps.At(id)) {
+			c++
+		}
+	}
+	return c
+}
+
+// split divides the partition at boundary position pos of sort order s:
+// the first pos ids of orders[s] form the left half. All S sorted lists are
+// split stably (SplitOnKey of Algorithm 1), using the tree's scratch flag
+// array to test membership in O(1).
+func (p *partition) split(s, pos int, scratch []bool) (left, right *partition) {
+	n := p.count()
+	if pos <= 0 || pos >= n {
+		panic("rtree: split position out of range")
+	}
+	leftIDs := p.orders[s][:pos]
+	for _, id := range leftIDs {
+		scratch[id] = true
+	}
+	lo := make([][]int32, len(p.orders))
+	hi := make([][]int32, len(p.orders))
+	for d := range p.orders {
+		l := make([]int32, 0, pos)
+		h := make([]int32, 0, n-pos)
+		for _, id := range p.orders[d] {
+			if scratch[id] {
+				l = append(l, id)
+			} else {
+				h = append(h, id)
+			}
+		}
+		lo[d] = l
+		hi[d] = h
+	}
+	for _, id := range leftIDs {
+		scratch[id] = false
+	}
+	return &partition{orders: lo}, &partition{orders: hi}
+}
+
+// computeMBR fills in the partition's MBR from its points (split leaves the
+// MBR empty so the hot path can skip it until needed).
+func (p *partition) computeMBR(ps *PointSet) {
+	if p.mbr.Lo != nil {
+		return
+	}
+	p.mbr = ps.MBRof(p.orders[0])
+}
+
+// attrStats returns (building lazily) the statistics of registered
+// attribute ai over the partition's points.
+func (p *partition) attrStats(ps *PointSet, ai int) AttrStats {
+	if p.stats == nil {
+		p.stats = make([]AttrStats, ps.NumAttrs())
+		for i := range p.stats {
+			p.stats[i] = ps.attrStats(i, p.orders[0])
+		}
+	}
+	return p.stats[ai]
+}
+
+// sizeBytes estimates the in-memory footprint of the partition: S id lists
+// of 4 bytes per entry plus the MBR.
+func (p *partition) sizeBytes(dim int) int {
+	return len(p.orders)*p.count()*4 + 2*dim*8 + 48
+}

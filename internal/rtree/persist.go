@@ -1,0 +1,154 @@
+package rtree
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Persistence for a shaped index: the whole point of cracking is that the
+// index's shape encodes the query workload, so being able to save a warmed
+// index and reload it next to the (deterministically reprojected) point set
+// preserves that investment across process restarts.
+//
+// The wire format stores structure only — node kinds, leaf ids, pending
+// element id sets, MBRs — not point coordinates; the PointSet is rebuilt
+// from the embedding + JL transform on load (both deterministic by seed).
+
+type wireNode struct {
+	// Kind: 0 internal, 1 leaf, 2 pending.
+	Kind     uint8
+	Lo, Hi   []float64
+	Children []wireNode
+	IDs      []int32 // leaf entries or pending id set (resorted on load)
+}
+
+type wireTree struct {
+	Opt      Options
+	Splits   int
+	Explored int
+	Queries  int
+	InitialN int
+	Deleted  []int32
+	Root     *wireNode
+}
+
+// Save writes the tree structure in gob format.
+func (t *Tree) Save(w io.Writer) error {
+	t.ensureRoot()
+	wt := wireTree{
+		Opt:      t.opt,
+		Splits:   t.splits,
+		Explored: t.explored,
+		Queries:  t.queries,
+		InitialN: t.initialN,
+		Root:     encodeNode(t.root),
+	}
+	for id := range t.deleted {
+		wt.Deleted = append(wt.Deleted, id)
+	}
+	return gob.NewEncoder(w).Encode(wt)
+}
+
+func encodeNode(nd *node) *wireNode {
+	w := &wireNode{Lo: nd.mbr.Lo, Hi: nd.mbr.Hi}
+	switch {
+	case nd.isInternal():
+		w.Kind = 0
+		for _, c := range nd.children {
+			w.Children = append(w.Children, *encodeNode(c))
+		}
+	case nd.isLeaf():
+		w.Kind = 1
+		w.IDs = nd.leafIDs
+	default:
+		w.Kind = 2
+		w.IDs = nd.part.ids()
+	}
+	return w
+}
+
+// Load reads a tree written by Save and attaches it to ps, which must hold
+// the same points the tree was built over (same embedding, same transform,
+// same seed). Pending elements rebuild their sort orders locally; this is
+// proportional to the pending mass only, far cheaper than re-cracking.
+func Load(r io.Reader, ps *PointSet) (*Tree, error) {
+	var wt wireTree
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("rtree: decode tree: %w", err)
+	}
+	if wt.Root == nil {
+		return nil, errors.New("rtree: corrupt tree (no root)")
+	}
+	t := &Tree{
+		ps:       ps,
+		opt:      wt.Opt.normalize(),
+		scratch:  make([]bool, ps.N()),
+		splits:   wt.Splits,
+		explored: wt.Explored,
+		queries:  wt.Queries,
+		initialN: wt.InitialN,
+	}
+	if len(wt.Deleted) > 0 {
+		t.deleted = make(map[int32]bool, len(wt.Deleted))
+		for _, id := range wt.Deleted {
+			t.deleted[id] = true
+		}
+	}
+	var err error
+	t.root, err = t.decodeNode(wt.Root)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Tree) decodeNode(w *wireNode) (*node, error) {
+	if len(w.Lo) != t.ps.Dim || len(w.Hi) != t.ps.Dim {
+		return nil, fmt.Errorf("rtree: MBR dimension %d, point set %d", len(w.Lo), t.ps.Dim)
+	}
+	nd := &node{mbr: Rect{Lo: w.Lo, Hi: w.Hi}}
+	switch w.Kind {
+	case 0:
+		if len(w.Children) == 0 {
+			return nil, errors.New("rtree: internal node without children")
+		}
+		for i := range w.Children {
+			c, err := t.decodeNode(&w.Children[i])
+			if err != nil {
+				return nil, err
+			}
+			nd.children = append(nd.children, c)
+		}
+	case 1:
+		if err := t.checkIDs(w.IDs); err != nil {
+			return nil, err
+		}
+		nd.leafIDs = w.IDs
+		if nd.leafIDs == nil {
+			nd.leafIDs = []int32{}
+		}
+	case 2:
+		if err := t.checkIDs(w.IDs); err != nil {
+			return nil, err
+		}
+		if len(w.IDs) == 0 {
+			return nil, errors.New("rtree: empty pending element")
+		}
+		nd.part = newPartitionFromIDs(t.ps, w.IDs)
+		nd.part.mbr = nd.mbr
+	default:
+		return nil, fmt.Errorf("rtree: unknown node kind %d", w.Kind)
+	}
+	return nd, nil
+}
+
+func (t *Tree) checkIDs(ids []int32) error {
+	for _, id := range ids {
+		if id < 0 || int(id) >= t.ps.N() {
+			return fmt.Errorf("rtree: point id %d outside point set of %d", id, t.ps.N())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package rtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ps := clusteredPointSet(2500, 3, 5, 61)
+	tr := NewCracking(ps, DefaultOptions())
+	rng := rand.New(rand.NewSource(62))
+	queries := make([]Rect, 24)
+	for i := range queries {
+		queries[i] = randomQuery(rng, 3, 0, 10)
+		tr.Crack(queries[i])
+	}
+	before := tr.Stats()
+
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf, ps)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	after := got.Stats()
+	if after.TotalNodes != before.TotalNodes || after.BinarySplits != before.BinarySplits ||
+		after.Queries != before.Queries {
+		t.Fatalf("stats changed in round trip: %+v vs %+v", after, before)
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after load: %v", err)
+	}
+	// Loaded tree answers identically.
+	for _, q := range queries {
+		a := sortIDs(tr.Search(q))
+		b := sortIDs(got.Search(q))
+		if !equalIDs(a, b) {
+			t.Fatalf("loaded tree answers differently: %d vs %d ids", len(b), len(a))
+		}
+	}
+	// And keeps cracking correctly.
+	q := randomQuery(rng, 3, 0, 10)
+	got.Crack(q)
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after post-load crack: %v", err)
+	}
+	if !equalIDs(sortIDs(got.Search(q)), sortIDs(bruteSearch(ps, q))) {
+		t.Fatal("post-load crack broke search")
+	}
+}
+
+func TestSaveLoadWithDeletes(t *testing.T) {
+	ps := clusteredPointSet(500, 2, 3, 63)
+	tr := NewCracking(ps, DefaultOptions())
+	tr.Crack(BallRect([]float64{5, 5}, 2))
+	tr.Delete(7)
+	tr.Delete(123)
+
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf, ps)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	for _, id := range []int32{7, 123} {
+		for _, found := range got.Search(NewRect(ps.At(id))) {
+			if found == id {
+				t.Fatalf("deleted point %d resurrected by round trip", id)
+			}
+		}
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	ps := randomPointSet(100, 2, 64)
+	var bad bytes.Buffer
+	bad.WriteString("not a gob tree")
+	if _, err := Load(&bad, ps); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+	// A tree saved over a bigger point set must be rejected when loaded
+	// against a smaller one.
+	big := randomPointSet(200, 2, 65)
+	tr := NewCracking(big, DefaultOptions())
+	tr.Crack(BallRect([]float64{0.5, 0.5}, 0.2))
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, ps); err == nil {
+		t.Fatal("Load accepted a tree referencing out-of-range points")
+	}
+	// Dimension mismatch rejected.
+	tr3 := NewCracking(randomPointSet(50, 3, 66), DefaultOptions())
+	tr3.Crack(BallRect([]float64{0.5, 0.5, 0.5}, 0.2))
+	buf.Reset()
+	if err := tr3.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, ps); err == nil {
+		t.Fatal("Load accepted a tree of different dimensionality")
+	}
+}
+
+func TestSaveFreshTree(t *testing.T) {
+	ps := randomPointSet(300, 3, 67)
+	tr := NewCracking(ps, DefaultOptions())
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatalf("Save fresh: %v", err)
+	}
+	got, err := Load(&buf, ps)
+	if err != nil {
+		t.Fatalf("Load fresh: %v", err)
+	}
+	if got.Stats().TotalNodes != 1 {
+		t.Fatalf("fresh tree has %d nodes after round trip", got.Stats().TotalNodes)
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

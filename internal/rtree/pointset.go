@@ -1,0 +1,129 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// PointSet is the flat store of all indexed points in S2. Point i occupies
+// Coords[i*Dim : (i+1)*Dim]; the point index doubles as the entity id.
+//
+// Attribute columns (for aggregate queries) may be registered so that
+// contour elements can expose min/max/sum statistics, as the paper suggests
+// for estimating v_m in Theorem 4.
+type PointSet struct {
+	Dim    int
+	Coords []float64
+
+	attrNames []string
+	attrCols  [][]float64 // parallel to attrNames; indexed by point id
+}
+
+// NewPointSet wraps row-major coordinates (stride dim) as a point set.
+func NewPointSet(dim int, coords []float64) *PointSet {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rtree: invalid dimension %d", dim))
+	}
+	if len(coords)%dim != 0 {
+		panic("rtree: coords length is not a multiple of dim")
+	}
+	return &PointSet{Dim: dim, Coords: coords}
+}
+
+// N returns the number of points.
+func (ps *PointSet) N() int { return len(ps.Coords) / ps.Dim }
+
+// At returns a view of point i's coordinates; the slice must not be
+// modified.
+func (ps *PointSet) At(i int32) []float64 {
+	return ps.Coords[int(i)*ps.Dim : (int(i)+1)*ps.Dim]
+}
+
+// Coord returns coordinate d of point i.
+func (ps *PointSet) Coord(i int32, d int) float64 {
+	return ps.Coords[int(i)*ps.Dim+d]
+}
+
+// SqDistTo returns the squared Euclidean distance from point i to q.
+func (ps *PointSet) SqDistTo(i int32, q []float64) float64 {
+	p := ps.At(i)
+	var s float64
+	for j, v := range q {
+		d := p[j] - v
+		s += d * d
+	}
+	return s
+}
+
+// RegisterAttr attaches a named attribute column (indexed by point id, NaN
+// for missing). Contour elements lazily aggregate registered columns.
+func (ps *PointSet) RegisterAttr(name string, col []float64) {
+	ps.attrNames = append(ps.attrNames, name)
+	ps.attrCols = append(ps.attrCols, col)
+}
+
+// AttrIndex returns the registration index for attribute name, or -1.
+func (ps *PointSet) AttrIndex(name string) int {
+	for i, n := range ps.attrNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrValue returns attribute ai of point id and whether it is present.
+func (ps *PointSet) AttrValue(ai int, id int32) (float64, bool) {
+	col := ps.attrCols[ai]
+	if int(id) >= len(col) {
+		return 0, false
+	}
+	v := col[id]
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// NumAttrs returns the number of registered attribute columns.
+func (ps *PointSet) NumAttrs() int { return len(ps.attrNames) }
+
+// MBRof computes the minimum bounding rectangle of the given point ids.
+func (ps *PointSet) MBRof(ids []int32) Rect {
+	r := EmptyRect(ps.Dim)
+	for _, id := range ids {
+		r.Expand(ps.At(id))
+	}
+	return r
+}
+
+// AttrStats summarizes one registered attribute over a set of points.
+type AttrStats struct {
+	Count  int // points with the attribute present
+	Min    float64
+	Max    float64
+	Sum    float64
+	MaxAbs float64 // max |v|, the v_m statistic of Theorem 4
+}
+
+func (ps *PointSet) attrStats(ai int, ids []int32) AttrStats {
+	st := AttrStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, id := range ids {
+		v, ok := ps.AttrValue(ai, id)
+		if !ok {
+			continue
+		}
+		st.Count++
+		st.Sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		if a := math.Abs(v); a > st.MaxAbs {
+			st.MaxAbs = a
+		}
+	}
+	return st
+}

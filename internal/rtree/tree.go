@@ -1,0 +1,534 @@
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Options configure the index. The zero value is usable: defaults are
+// filled in by normalize.
+type Options struct {
+	// LeafCap is N, the maximum number of point entries per leaf node.
+	LeafCap int
+	// Fanout is M, the maximum number of children per internal node.
+	Fanout int
+	// Beta weights overlap cost by tree height: a split at height h
+	// contributes beta^h * ||O|| / min(||L||,||H||). Beta >= 1.
+	Beta float64
+	// SplitChoices is the k of Top-kSplitsIndexBuild: 1 selects the greedy
+	// IncrementalIndexBuild; 2-4 explore the top-k split choices with A*
+	// pruning.
+	SplitChoices int
+	// MaxCandidatePops caps the A* search per query; beyond it the best
+	// candidate is completed greedily. Guards pathological workloads.
+	MaxCandidatePops int
+}
+
+// DefaultOptions returns the parameters used throughout the experiments.
+func DefaultOptions() Options {
+	return Options{LeafCap: 32, Fanout: 8, Beta: 2, SplitChoices: 1, MaxCandidatePops: 512}
+}
+
+func (o Options) normalize() Options {
+	if o.LeafCap <= 0 {
+		o.LeafCap = 32
+	}
+	if o.Fanout < 2 {
+		o.Fanout = 8
+	}
+	if o.Beta < 1 {
+		o.Beta = 2
+	}
+	if o.SplitChoices < 1 {
+		o.SplitChoices = 1
+	}
+	if o.MaxCandidatePops <= 0 {
+		o.MaxCandidatePops = 512
+	}
+	return o
+}
+
+// Tree is the spatial index over a PointSet in S2. A Tree is either created
+// cracking (NewCracking: a single pending root, shaped online by Crack
+// calls) or bulk-loaded (NewBulkLoaded: the full Algorithm 1 build).
+//
+// Tree is not safe for concurrent use: Crack mutates the structure.
+type Tree struct {
+	ps      *PointSet
+	opt     Options
+	root    *node
+	scratch []bool // point-id membership flags reused by splits
+
+	splits   int // binary splits applied to the tree
+	explored int // hypothetical splits evaluated by the top-k search
+	queries  int // Crack invocations
+
+	// deleted tracks tombstoned point ids (see Delete): their coordinates
+	// remain in the PointSet but they are no longer referenced by any
+	// contour element.
+	deleted map[int32]bool
+
+	// initialN is the PointSet size when the tree was created; the lazy
+	// root covers exactly these points, and anything appended later enters
+	// only through Insert.
+	initialN int
+}
+
+// NewCracking returns a cracking index whose only node is a pending root
+// holding all points. Construction is O(1): even the root's S sort orders
+// are built lazily by the first operation, so there is no offline index
+// building time at all — the first query pays the setup, as in the paper's
+// Figure 3.
+func NewCracking(ps *PointSet, opt Options) *Tree {
+	opt = opt.normalize()
+	return &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), initialN: ps.N()}
+}
+
+// ensureRoot materializes the root on first use.
+func (t *Tree) ensureRoot() {
+	if t.root != nil {
+		return
+	}
+	if t.initialN == 0 {
+		t.root = &node{mbr: EmptyRect(t.ps.Dim), leafIDs: []int32{}}
+		return
+	}
+	p := newRootPartition(t.ps, t.initialN)
+	t.root = &node{mbr: p.mbr, part: p}
+	if p.count() <= t.opt.LeafCap {
+		t.toLeaf(t.root)
+	}
+}
+
+// PS returns the underlying point set.
+func (t *Tree) PS() *PointSet { return t.ps }
+
+// Opt returns the tree's normalized options.
+func (t *Tree) Opt() Options { return t.opt }
+
+// toLeaf converts a pending node that fits in a leaf.
+func (t *Tree) toLeaf(nd *node) {
+	ids := append([]int32(nil), nd.part.ids()...)
+	nd.part.computeMBR(t.ps)
+	nd.mbr = nd.part.mbr
+	nd.leafIDs = ids
+	nd.part = nil
+}
+
+// Crack incrementally builds the index for query region q: the greedy
+// IncrementalIndexBuild when SplitChoices == 1, Top-kSplitsIndexBuild
+// otherwise. It is the entry point Algorithm 3 calls with its final query
+// region.
+func (t *Tree) Crack(q Rect) {
+	t.ensureRoot()
+	t.queries++
+	if t.opt.SplitChoices > 1 {
+		t.crackTopK(q)
+		return
+	}
+	t.crackGreedy(t.root, q)
+}
+
+// crackGreedy implements IncrementalIndexBuild: descend to contour elements
+// overlapping q; split each one that fails the stopping condition, using the
+// locally best (cQ, cO) binary split; recurse into the new children.
+func (t *Tree) crackGreedy(nd *node, q Rect) {
+	if !nd.mbr.Overlaps(q) {
+		return
+	}
+	if nd.isInternal() {
+		for _, c := range nd.children {
+			t.crackGreedy(c, q)
+		}
+		return
+	}
+	if nd.isLeaf() {
+		return
+	}
+	p := nd.part
+	n := p.count()
+	if n <= t.opt.LeafCap {
+		t.toLeaf(nd)
+		return
+	}
+	cq := p.countInRect(t.ps, q)
+	// Stopping condition (Section IV-C step 3): element irrelevant to q, or
+	// q already covers (almost) all of it, in which case splitting cannot
+	// reduce the leaf-page lower bound of Lemma 3.
+	if cq == 0 || ceilDiv(cq, t.opt.LeafCap) == ceilDiv(n, t.opt.LeafCap) {
+		return
+	}
+
+	m := t.levelM(n)
+	parts := t.partitionGreedy(p, m, &q)
+	nd.part = nil
+	nd.children = make([]*node, 0, len(parts))
+	for _, cp := range parts {
+		cp.computeMBR(t.ps)
+		child := &node{mbr: cp.mbr, part: cp}
+		if cp.count() <= t.opt.LeafCap {
+			t.toLeaf(child)
+		}
+		nd.children = append(nd.children, child)
+	}
+	for _, c := range nd.children {
+		if c.isPending() {
+			t.crackGreedy(c, q)
+		}
+	}
+}
+
+// levelM returns m, the per-child chunk size when partitioning an n-point
+// element: ceil(n/M) points per child, but never below the leaf capacity.
+func (t *Tree) levelM(n int) int {
+	m := ceilDiv(n, t.opt.Fanout)
+	if m < t.opt.LeafCap {
+		m = t.opt.LeafCap
+	}
+	return m
+}
+
+// partitionGreedy is the Partition function of Algorithm 1 with the paper's
+// cracking stopping condition: recursively binary-split p until chunks reach
+// size m, leaving chunks that are irrelevant to q (or fully covered by it)
+// unsplit regardless of size.
+func (t *Tree) partitionGreedy(p *partition, m int, q *Rect) []*partition {
+	n := p.count()
+	if n <= m {
+		return []*partition{p}
+	}
+	if q != nil {
+		p.computeMBR(t.ps)
+		cq := p.countInRect(t.ps, *q)
+		if cq == 0 || ceilDiv(cq, t.opt.LeafCap) == ceilDiv(n, t.opt.LeafCap) {
+			return []*partition{p}
+		}
+	}
+	h := estHeight(n, t.opt.LeafCap, t.opt.Fanout)
+	choices := bestSplits(t.ps, p, m, q, t.opt.Beta, t.opt.LeafCap, h, 1)
+	if len(choices) == 0 {
+		return []*partition{p}
+	}
+	l, r := p.split(choices[0].s, choices[0].pos, t.scratch)
+	t.splits++
+	return append(t.partitionGreedy(l, m, q), t.partitionGreedy(r, m, q)...)
+}
+
+// Search returns the ids of all points inside q, using whatever structure
+// exists: materialized subtrees prune by MBR, pending elements are scanned.
+// Search never mutates the tree.
+func (t *Tree) Search(q Rect) []int32 {
+	var out []int32
+	t.SearchFunc(q, func(id int32) { out = append(out, id) })
+	return out
+}
+
+// SearchFunc streams the ids of all points inside q to fn.
+func (t *Tree) SearchFunc(q Rect, fn func(id int32)) {
+	t.ensureRoot()
+	t.searchNode(t.root, q, fn)
+}
+
+func (t *Tree) searchNode(nd *node, q Rect, fn func(id int32)) {
+	if !nd.mbr.Overlaps(q) {
+		return
+	}
+	switch {
+	case nd.isInternal():
+		for _, c := range nd.children {
+			t.searchNode(c, q, fn)
+		}
+	case nd.isLeaf():
+		for _, id := range nd.leafIDs {
+			if q.Contains(t.ps.At(id)) {
+				fn(id)
+			}
+		}
+	default:
+		covered := q.ContainsRect(nd.mbr)
+		for _, id := range nd.part.ids() {
+			if covered || q.Contains(t.ps.At(id)) {
+				fn(id)
+			}
+		}
+	}
+}
+
+// NearestSeeds implements line 2 of Algorithm 3: probe the index for the
+// smallest element containing q and return k data points near q from it —
+// walking the element's points outward from q's position in one sort order,
+// exactly as the paper describes. If the element holds fewer than k points,
+// neighboring elements are consulted in MBR-distance order.
+func (t *Tree) NearestSeeds(q []float64, k int) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	t.ensureRoot()
+	out := make([]int32, 0, k)
+	pq := &nodeHeap{}
+	heap.Push(pq, nodeDist{n: t.root, d: t.root.mbr.MinSqDist(q)})
+	for pq.Len() > 0 && len(out) < k {
+		nd := heap.Pop(pq).(nodeDist).n
+		switch {
+		case nd.isInternal():
+			for _, c := range nd.children {
+				heap.Push(pq, nodeDist{n: c, d: c.mbr.MinSqDist(q)})
+			}
+		case nd.isLeaf():
+			out = appendNearLeaf(t.ps, out, nd.leafIDs, q, k)
+		default:
+			out = appendNearPending(t.ps, out, nd.part, q, k)
+		}
+	}
+	return out
+}
+
+// appendNearLeaf adds up to k-len(out) points of a leaf, nearest to q first.
+func appendNearLeaf(ps *PointSet, out []int32, ids []int32, q []float64, k int) []int32 {
+	sorted := append([]int32(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return ps.SqDistTo(sorted[i], q) < ps.SqDistTo(sorted[j], q)
+	})
+	for _, id := range sorted {
+		if len(out) >= k {
+			break
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// appendNearPending adds up to k-len(out) points of a pending element by
+// expanding outward from q's rank in sort order 0 — O(log n + k), avoiding a
+// scan of a potentially huge element.
+func appendNearPending(ps *PointSet, out []int32, p *partition, q []float64, k int) []int32 {
+	order := p.orders[0]
+	n := len(order)
+	pos := sort.Search(n, func(i int) bool { return ps.Coord(order[i], 0) >= q[0] })
+	lo, hi := pos-1, pos
+	for len(out) < k && (lo >= 0 || hi < n) {
+		switch {
+		case lo < 0:
+			out = append(out, order[hi])
+			hi++
+		case hi >= n:
+			out = append(out, order[lo])
+			lo--
+		default:
+			dl := q[0] - ps.Coord(order[lo], 0)
+			dh := ps.Coord(order[hi], 0) - q[0]
+			if dl <= dh {
+				out = append(out, order[lo])
+				lo--
+			} else {
+				out = append(out, order[hi])
+				hi++
+			}
+		}
+	}
+	return out
+}
+
+type nodeDist struct {
+	n *node
+	d float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// ElementSummary describes one contour element overlapping a query ball,
+// for the aggregate estimators: how many points it holds, how far it is,
+// and its per-attribute statistics (the v_m source of Theorem 4).
+type ElementSummary struct {
+	Count        int
+	MBR          Rect
+	MinDist      float64 // distance from the ball center to the MBR
+	MaxDist      float64 // distance from the ball center to the farthest MBR corner
+	CentroidDist float64 // distance from the ball center to the MBR centroid
+	Attrs        []AttrStats
+}
+
+// ContourOverlap returns summaries of every contour element whose MBR
+// intersects the ball B(center, radius), without mutating the tree.
+func (t *Tree) ContourOverlap(center []float64, radius float64) []ElementSummary {
+	t.ensureRoot()
+	q := BallRect(center, radius)
+	var out []ElementSummary
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if !nd.mbr.Overlaps(q) {
+			return
+		}
+		if nd.isInternal() {
+			for _, c := range nd.children {
+				walk(c)
+			}
+			return
+		}
+		sum := ElementSummary{MBR: nd.mbr}
+		var ids []int32
+		if nd.isLeaf() {
+			ids = nd.leafIDs
+			sum.Count = len(ids)
+			sum.Attrs = make([]AttrStats, t.ps.NumAttrs())
+			for ai := range sum.Attrs {
+				sum.Attrs[ai] = t.ps.attrStats(ai, ids)
+			}
+		} else {
+			sum.Count = nd.part.count()
+			sum.Attrs = make([]AttrStats, t.ps.NumAttrs())
+			for ai := range sum.Attrs {
+				sum.Attrs[ai] = nd.part.attrStats(t.ps, ai)
+			}
+		}
+		sum.MinDist = sqrt(nd.mbr.MinSqDist(center))
+		sum.MaxDist = sqrt(nd.mbr.MaxSqDist(center))
+		c := nd.mbr.Centroid()
+		var d2 float64
+		for i := range c {
+			dd := c[i] - center[i]
+			d2 += dd * dd
+		}
+		sum.CentroidDist = sqrt(d2)
+		out = append(out, sum)
+	}
+	walk(t.root)
+	return out
+}
+
+// Stats reports structural counters for the index-size experiments
+// (Figs. 9-11).
+type Stats struct {
+	InternalNodes int
+	LeafNodes     int
+	PendingNodes  int
+	TotalNodes    int
+	BinarySplits  int
+	// ExploredSplits counts the hypothetical splits the Top-kSplits A*
+	// search materialized but did not necessarily adopt; it equals
+	// BinarySplits for the greedy build.
+	ExploredSplits int
+	Queries        int
+	SizeBytes      int
+	Height         int
+	Points         int
+}
+
+// Stats computes current structural statistics.
+func (t *Tree) Stats() Stats {
+	t.ensureRoot()
+	in, lf, pd := t.root.countNodes()
+	return Stats{
+		InternalNodes:  in,
+		LeafNodes:      lf,
+		PendingNodes:   pd,
+		TotalNodes:     in + lf + pd,
+		BinarySplits:   t.splits,
+		ExploredSplits: t.splits + t.explored,
+		Queries:        t.queries,
+		SizeBytes:      t.root.sizeBytes(t.ps.Dim),
+		Height:         t.root.height(),
+		Points:         t.ps.N(),
+	}
+}
+
+// CheckInvariants verifies the structural invariants the paper's lemmas rely
+// on: every node's MBR contains its contents; internal nodes have children;
+// the contour elements partition the full point set (Lemma 1); leaves
+// respect the capacity; pending partitions keep consistent sort orders.
+// Intended for tests; O(n log n).
+func (t *Tree) CheckInvariants() error {
+	t.ensureRoot()
+	seen := make(map[int32]int)
+	var walk func(nd *node, depth int) error
+	walk = func(nd *node, depth int) error {
+		switch {
+		case nd.isInternal():
+			if len(nd.children) == 0 {
+				return fmt.Errorf("internal node with no children at depth %d", depth)
+			}
+			if len(nd.children) > t.opt.Fanout {
+				return fmt.Errorf("internal node with %d > M=%d children", len(nd.children), t.opt.Fanout)
+			}
+			for _, c := range nd.children {
+				if !nd.mbr.ContainsRect(c.mbr) {
+					return fmt.Errorf("child MBR %v escapes parent %v", c.mbr, nd.mbr)
+				}
+				if err := walk(c, depth+1); err != nil {
+					return err
+				}
+			}
+		case nd.isLeaf():
+			if len(nd.leafIDs) > t.opt.LeafCap {
+				return fmt.Errorf("leaf with %d > N=%d entries", len(nd.leafIDs), t.opt.LeafCap)
+			}
+			for _, id := range nd.leafIDs {
+				if !nd.mbr.Contains(t.ps.At(id)) {
+					return fmt.Errorf("leaf point %d outside MBR", id)
+				}
+				seen[id]++
+			}
+		case nd.isPending():
+			p := nd.part
+			n := p.count()
+			for s := 1; s < len(p.orders); s++ {
+				if len(p.orders[s]) != n {
+					return fmt.Errorf("pending element has ragged sort orders")
+				}
+			}
+			for s, order := range p.orders {
+				for i := 1; i < len(order); i++ {
+					if t.ps.Coord(order[i-1], s) > t.ps.Coord(order[i], s) {
+						return fmt.Errorf("sort order %d out of order at %d", s, i)
+					}
+				}
+			}
+			for _, id := range p.ids() {
+				if !nd.mbr.Contains(t.ps.At(id)) {
+					return fmt.Errorf("pending point %d outside MBR", id)
+				}
+				seen[id]++
+			}
+		default:
+			if t.ps.N() != 0 {
+				return fmt.Errorf("empty node in non-empty tree")
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if want := t.ps.N() - len(t.deleted); len(seen) != want {
+		return fmt.Errorf("contour covers %d of %d live points", len(seen), want)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("point %d appears %d times in contour", id, c)
+		}
+		if t.deleted[id] {
+			return fmt.Errorf("deleted point %d still in contour", id)
+		}
+	}
+	return nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,173 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the paper's stated future work (Section VIII):
+// incremental updates on the partial index. The cracking structure makes
+// insertion natural — a new point descends to a contour element; pending
+// elements absorb it into their sort orders, and a leaf that overflows
+// reverts to a pending element whose split is deferred until a query
+// actually needs it, exactly in the cracking spirit.
+
+// AppendPoint adds a point to the PointSet and returns its id. The caller
+// must Insert the id into any tree built over the set.
+func (ps *PointSet) AppendPoint(coords []float64) int32 {
+	if len(coords) != ps.Dim {
+		panic(fmt.Sprintf("rtree: AppendPoint dimension %d, want %d", len(coords), ps.Dim))
+	}
+	id := int32(ps.N())
+	ps.Coords = append(ps.Coords, coords...)
+	return id
+}
+
+// RefreshAttr re-binds a registered attribute column (needed when the
+// owning graph reallocated the column while growing it).
+func (ps *PointSet) RefreshAttr(name string, col []float64) {
+	for i, n := range ps.attrNames {
+		if n == name {
+			ps.attrCols[i] = col
+			return
+		}
+	}
+}
+
+// Insert adds point id (already appended to the PointSet) to the index.
+// The point descends along least-enlargement children as in a classical
+// R-tree insert; pending elements splice it into their sort orders; a leaf
+// that overflows becomes a pending element again, deferring its split to
+// the next query that cares (the cracking discipline applied to updates).
+func (t *Tree) Insert(id int32) {
+	t.ensureRoot()
+	for int(id) >= len(t.scratch) {
+		t.scratch = append(t.scratch, false)
+	}
+	delete(t.deleted, id)
+	t.insertAt(t.root, id)
+}
+
+func (t *Tree) insertAt(nd *node, id int32) {
+	pt := t.ps.At(id)
+	if nd.mbr.IsEmpty() {
+		nd.mbr = NewRect(pt)
+	} else {
+		nd.mbr.Expand(pt)
+	}
+	switch {
+	case nd.isInternal():
+		t.insertAt(chooseChild(nd.children, pt), id)
+	case nd.isLeaf():
+		nd.leafIDs = append(nd.leafIDs, id)
+		if len(nd.leafIDs) > t.opt.LeafCap {
+			// Overflow: revert to a pending element; the next query that
+			// touches it will crack it with full cost-model context.
+			nd.part = newPartitionFromIDs(t.ps, nd.leafIDs)
+			nd.leafIDs = nil
+		}
+	default:
+		insertSorted(t.ps, nd.part, id)
+		nd.part.stats = nil // invalidate cached attribute stats
+	}
+}
+
+// chooseChild picks the child whose MBR needs the least volume enlargement
+// to absorb pt (ties: smaller volume, then first).
+func chooseChild(children []*node, pt []float64) *node {
+	best := children[0]
+	bestEnl, bestVol := enlargement(best.mbr, pt), best.mbr.Volume()
+	for _, c := range children[1:] {
+		enl := enlargement(c.mbr, pt)
+		vol := c.mbr.Volume()
+		if enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = c, enl, vol
+		}
+	}
+	return best
+}
+
+func enlargement(r Rect, pt []float64) float64 {
+	grown := r.Clone()
+	grown.Expand(pt)
+	return grown.Volume() - r.Volume()
+}
+
+// insertSorted splices id into every sort order of a pending partition.
+func insertSorted(ps *PointSet, p *partition, id int32) {
+	for s, order := range p.orders {
+		v := ps.Coord(id, s)
+		pos := sort.Search(len(order), func(i int) bool {
+			ov := ps.Coord(order[i], s)
+			if ov != v {
+				return ov > v
+			}
+			return order[i] >= id
+		})
+		order = append(order, 0)
+		copy(order[pos+1:], order[pos:])
+		order[pos] = id
+		p.orders[s] = order
+	}
+	if p.mbr.Lo != nil {
+		p.mbr.Expand(ps.At(id))
+	}
+}
+
+// Delete removes point id from the index, returning whether it was found.
+// MBRs are not shrunk (they stay conservative supersets, which preserves
+// correctness); a later Crack rebuilds exact boxes for the touched region.
+// The point's coordinates remain in the PointSet as an unreferenced
+// tombstone.
+func (t *Tree) Delete(id int32) bool {
+	if t.root == nil || int(id) >= t.ps.N() {
+		return false
+	}
+	pt := t.ps.At(id)
+	var del func(nd *node) bool
+	del = func(nd *node) bool {
+		if !nd.mbr.Contains(pt) {
+			return false
+		}
+		switch {
+		case nd.isInternal():
+			for _, c := range nd.children {
+				if del(c) {
+					return true
+				}
+			}
+			return false
+		case nd.isLeaf():
+			for i, v := range nd.leafIDs {
+				if v == id {
+					nd.leafIDs = append(nd.leafIDs[:i], nd.leafIDs[i+1:]...)
+					return true
+				}
+			}
+			return false
+		default:
+			found := false
+			for s, order := range nd.part.orders {
+				for i, v := range order {
+					if v == id {
+						nd.part.orders[s] = append(order[:i], order[i+1:]...)
+						found = true
+						break
+					}
+				}
+			}
+			if found {
+				nd.part.stats = nil
+			}
+			return found
+		}
+	}
+	if del(t.root) {
+		if t.deleted == nil {
+			t.deleted = make(map[int32]bool)
+		}
+		t.deleted[id] = true
+		return true
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertIntoCrackedTree(t *testing.T) {
+	ps := clusteredPointSet(1500, 3, 4, 41)
+	tr := NewCracking(ps, DefaultOptions())
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 15; i++ {
+		tr.Crack(randomQuery(rng, 3, 0, 10))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("pre-insert invariants: %v", err)
+	}
+
+	// Insert 200 new points at random positions.
+	var newIDs []int32
+	for i := 0; i < 200; i++ {
+		pt := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		id := ps.AppendPoint(pt)
+		tr.Insert(id)
+		newIDs = append(newIDs, id)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("post-insert invariants: %v", err)
+	}
+
+	// Every inserted point must be findable.
+	for _, id := range newIDs {
+		q := NewRect(ps.At(id))
+		found := false
+		for _, got := range tr.Search(q) {
+			if got == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("inserted point %d not found", id)
+		}
+	}
+
+	// Search must still agree with brute force after more cracking.
+	for i := 0; i < 10; i++ {
+		q := randomQuery(rng, 3, 0, 10)
+		tr.Crack(q)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after post-insert crack %d: %v", i, err)
+		}
+		got := sortIDs(tr.Search(q))
+		want := sortIDs(bruteSearch(ps, q))
+		if !equalIDs(got, want) {
+			t.Fatalf("post-insert search mismatch: %d vs %d ids", len(got), len(want))
+		}
+	}
+}
+
+func TestInsertOverflowsLeafBackToPending(t *testing.T) {
+	// Build a tiny tree that is one leaf, then overflow it.
+	ps := randomPointSet(10, 2, 43)
+	opt := DefaultOptions()
+	opt.LeafCap = 16
+	tr := NewCracking(ps, opt)
+	tr.Crack(BallRect([]float64{0.5, 0.5}, 2)) // everything in one leaf
+	if tr.Stats().LeafNodes != 1 {
+		t.Fatalf("expected a single leaf, got %+v", tr.Stats())
+	}
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 20; i++ {
+		id := ps.AppendPoint([]float64{rng.Float64(), rng.Float64()})
+		tr.Insert(id)
+	}
+	st := tr.Stats()
+	if st.PendingNodes != 1 || st.LeafNodes != 0 {
+		t.Fatalf("overflowed leaf should be pending: %+v", st)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	// The deferred split happens at the next relevant query.
+	tr.Crack(BallRect([]float64{0.5, 0.5}, 0.05))
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after crack: %v", err)
+	}
+}
+
+func TestInsertIntoBulkTree(t *testing.T) {
+	ps := randomPointSet(800, 3, 45)
+	tr := NewBulkLoaded(ps, DefaultOptions())
+	rng := rand.New(rand.NewSource(46))
+	for i := 0; i < 100; i++ {
+		id := ps.AppendPoint([]float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		tr.Insert(id)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	q := Rect{Lo: []float64{-1, -1, -1}, Hi: []float64{2, 2, 2}}
+	if got := len(tr.Search(q)); got != 900 {
+		t.Fatalf("found %d of 900 points", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ps := clusteredPointSet(600, 3, 3, 47)
+	tr := NewCracking(ps, DefaultOptions())
+	rng := rand.New(rand.NewSource(48))
+	for i := 0; i < 8; i++ {
+		tr.Crack(randomQuery(rng, 3, 0, 10))
+	}
+	victims := []int32{0, 17, 599, 300}
+	for _, id := range victims {
+		if !tr.Delete(id) {
+			t.Fatalf("Delete(%d) did not find the point", id)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after delete: %v", err)
+	}
+	for _, id := range victims {
+		for _, got := range tr.Search(NewRect(ps.At(id))) {
+			if got == id {
+				t.Fatalf("deleted point %d still found", id)
+			}
+		}
+	}
+	// Deleting again reports not found.
+	if tr.Delete(victims[0]) {
+		t.Fatal("double delete succeeded")
+	}
+	// Re-insert one of them.
+	tr.Insert(victims[0])
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after re-insert: %v", err)
+	}
+	found := false
+	for _, got := range tr.Search(NewRect(ps.At(victims[0]))) {
+		if got == victims[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("re-inserted point not found")
+	}
+}
+
+func TestDeleteOutOfRange(t *testing.T) {
+	ps := randomPointSet(10, 2, 49)
+	tr := NewCracking(ps, DefaultOptions())
+	if tr.Delete(99) {
+		t.Fatal("deleted a nonexistent id")
+	}
+}
+
+func TestInsertIntoEmptyTree(t *testing.T) {
+	ps := NewPointSet(2, nil)
+	tr := NewCracking(ps, DefaultOptions())
+	id := ps.AppendPoint([]float64{1, 2})
+	tr.Insert(id)
+	if got := tr.Search(NewRect([]float64{1, 2})); len(got) != 1 || got[0] != id {
+		t.Fatalf("Search after insert into empty tree: %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

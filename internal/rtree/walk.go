@@ -1,0 +1,79 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WalkAscending streams point ids in non-decreasing S2 distance from q
+// (classic best-first branch-and-bound over the tree). visit receives each
+// id with its squared distance and returns false to stop the walk — since
+// points arrive in ascending order, returning false at the first point
+// outside the caller's (possibly shrinking) search radius is exact.
+//
+// This is the traversal Algorithm 3's line 5 loop relies on: "examine the
+// data points of the query region in increasing distance from q".
+func (t *Tree) WalkAscending(q []float64, visit func(id int32, sqDist float64) bool) {
+	t.WalkWithin(q, func() float64 { return math.Inf(1) }, visit)
+}
+
+// WalkWithin is WalkAscending with a dynamic pruning bound: nodes and
+// points whose squared distance exceeds bound() are never pushed onto the
+// frontier. The bound may shrink over time (Algorithm 3's radius does);
+// growing it mid-walk is not supported.
+func (t *Tree) WalkWithin(q []float64, bound func() float64, visit func(id int32, sqDist float64) bool) {
+	t.ensureRoot()
+	pq := walkHeap{{n: t.root, d: t.root.mbr.MinSqDist(q)}}
+	for len(pq) > 0 {
+		it := heap.Pop(&pq).(walkItem)
+		b := bound()
+		if it.d > b {
+			return // everything left is farther than the bound
+		}
+		if it.n == nil {
+			if !visit(it.id, it.d) {
+				return
+			}
+			continue
+		}
+		switch {
+		case it.n.isInternal():
+			for _, c := range it.n.children {
+				if d := c.mbr.MinSqDist(q); d <= b {
+					heap.Push(&pq, walkItem{n: c, d: d})
+				}
+			}
+		case it.n.isLeaf():
+			pushPoints(t.ps, &pq, it.n.leafIDs, q, b)
+		default:
+			pushPoints(t.ps, &pq, it.n.part.ids(), q, b)
+		}
+	}
+}
+
+func pushPoints(ps *PointSet, pq *walkHeap, ids []int32, q []float64, b float64) {
+	for _, id := range ids {
+		if d := ps.SqDistTo(id, q); d <= b {
+			heap.Push(pq, walkItem{id: id, d: d})
+		}
+	}
+}
+
+type walkItem struct {
+	n  *node // nil for point items
+	id int32
+	d  float64
+}
+
+type walkHeap []walkItem
+
+func (h walkHeap) Len() int            { return len(h) }
+func (h walkHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h walkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *walkHeap) Push(x interface{}) { *h = append(*h, x.(walkItem)) }
+func (h *walkHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}

@@ -1,0 +1,95 @@
+// Package scan implements the "no index" baseline: brute-force iteration
+// over every entity vector in the original embedding space S1. It is both a
+// performance baseline (Figs. 3, 5, 7) and the accuracy ground truth against
+// which precision@K of the index-based methods is measured (Figs. 4, 6, 8),
+// exactly as in the paper.
+package scan
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Neighbor is one ranked answer.
+type Neighbor struct {
+	ID     int32
+	SqDist float64
+}
+
+// TopK scans all n vectors (row-major in data, stride dim) and returns the k
+// nearest to q in ascending distance order, skipping ids for which skip
+// returns true. Ties are broken by id so results are deterministic.
+func TopK(dim int, data []float64, q []float64, k int, skip func(int32) bool) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	n := len(data) / dim
+	h := make(maxHeap, 0, k)
+	for i := 0; i < n; i++ {
+		id := int32(i)
+		if skip != nil && skip(id) {
+			continue
+		}
+		var s float64
+		base := i * dim
+		for j, v := range q {
+			d := data[base+j] - v
+			s += d * d
+		}
+		cand := Neighbor{ID: id, SqDist: s}
+		if len(h) < k {
+			heap.Push(&h, cand)
+		} else if less(cand, h[0]) {
+			h[0] = cand
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Neighbor(h)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// Within returns all points with squared distance at most sqRadius from q,
+// ascending by distance. Used as ground truth for aggregate queries.
+func Within(dim int, data []float64, q []float64, sqRadius float64, skip func(int32) bool) []Neighbor {
+	n := len(data) / dim
+	var out []Neighbor
+	for i := 0; i < n; i++ {
+		id := int32(i)
+		if skip != nil && skip(id) {
+			continue
+		}
+		var s float64
+		base := i * dim
+		for j, v := range q {
+			d := data[base+j] - v
+			s += d * d
+		}
+		if s <= sqRadius {
+			out = append(out, Neighbor{ID: id, SqDist: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func less(a, b Neighbor) bool {
+	if a.SqDist != b.SqDist {
+		return a.SqDist < b.SqDist
+	}
+	return a.ID < b.ID
+}
+
+// maxHeap keeps the k smallest seen so far, with the largest on top.
+type maxHeap []Neighbor
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return less(h[j], h[i]) }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}

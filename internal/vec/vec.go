@@ -1,0 +1,165 @@
+// Package vec provides dense float64 vector primitives shared by the
+// embedding trainers, the JL transform, and the spatial indices.
+//
+// All functions treat their slice arguments as mathematical vectors of equal
+// length; mismatched lengths panic, since a length mismatch is always a
+// programming error in this code base rather than a data error.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense vector of float64 components.
+type Vector = []float64
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// New returns a zero vector of dimension d.
+func New(d int) Vector { return make([]float64, d) }
+
+// Clone returns a copy of v.
+func Clone(v Vector) Vector {
+	c := make([]float64, len(v))
+	copy(c, v)
+	return c
+}
+
+// Add returns a + b as a new vector.
+func Add(a, b Vector) Vector {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a - b as a new vector.
+func Sub(a, b Vector) Vector {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// AddInto stores a + b into dst and returns dst.
+func AddInto(dst, a, b Vector) Vector {
+	checkLen(a, b)
+	checkLen(dst, a)
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// SubInto stores a - b into dst and returns dst.
+func SubInto(dst, a, b Vector) Vector {
+	checkLen(a, b)
+	checkLen(dst, a)
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// AxpyInto performs dst += alpha * x.
+func AxpyInto(dst Vector, alpha float64, x Vector) {
+	checkLen(dst, x)
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v by s in place and returns v.
+func Scale(v Vector, s float64) Vector {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (L2) norm of v.
+func Norm2(v Vector) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Norm1 returns the L1 norm of v.
+func Norm1(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b Vector) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SqDist2 returns the squared Euclidean distance between a and b. It is the
+// preferred comparison key in hot loops since it avoids the square root.
+func SqDist2(a, b Vector) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist1 returns the L1 (Manhattan) distance between a and b.
+func Dist1(a, b Vector) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Normalize scales v in place to unit L2 norm and returns v. The zero vector
+// is returned unchanged.
+func Normalize(v Vector) Vector {
+	n := Norm2(v)
+	if n == 0 {
+		return v
+	}
+	return Scale(v, 1/n)
+}
+
+// Equal reports whether a and b are component-wise equal within tol.
+func Equal(a, b Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

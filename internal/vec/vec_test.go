@@ -1,0 +1,120 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	if got := Add(a, b); !Equal(got, Vector{5, 7, 9}, 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !Equal(got, Vector{3, 3, 3}, 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Norm2(Vector{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm1(Vector{3, -4}); got != 7 {
+		t.Fatalf("Norm1 = %v, want 7", got)
+	}
+	if got := Dist2(a, b); math.Abs(got-math.Sqrt(27)) > 1e-12 {
+		t.Fatalf("Dist2 = %v", got)
+	}
+	if got := SqDist2(a, b); got != 27 {
+		t.Fatalf("SqDist2 = %v, want 27", got)
+	}
+	if got := Dist1(a, b); got != 9 {
+		t.Fatalf("Dist1 = %v, want 9", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := Vector{1, 2}
+	b := Vector{3, 4}
+	dst := New(2)
+	AddInto(dst, a, b)
+	if !Equal(dst, Vector{4, 6}, 0) {
+		t.Fatalf("AddInto = %v", dst)
+	}
+	SubInto(dst, a, b)
+	if !Equal(dst, Vector{-2, -2}, 0) {
+		t.Fatalf("SubInto = %v", dst)
+	}
+	AxpyInto(dst, 2, a)
+	if !Equal(dst, Vector{0, 2}, 0) {
+		t.Fatalf("AxpyInto = %v", dst)
+	}
+	v := Scale(Clone(a), 3)
+	if !Equal(v, Vector{3, 6}, 0) || !Equal(a, Vector{1, 2}, 0) {
+		t.Fatalf("Scale/Clone: %v, %v", v, a)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Normalize(Vector{3, 4})
+	if math.Abs(Norm2(v)-1) > 1e-12 {
+		t.Fatalf("Normalize norm = %v", Norm2(v))
+	}
+	z := Normalize(Vector{0, 0})
+	if !Equal(z, Vector{0, 0}, 0) {
+		t.Fatalf("Normalize zero = %v", z)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Dot did not panic")
+		}
+	}()
+	Dot(Vector{1}, Vector{1, 2})
+}
+
+func TestEqual(t *testing.T) {
+	if Equal(Vector{1}, Vector{1, 2}, 1) {
+		t.Fatal("Equal accepted different lengths")
+	}
+	if !Equal(Vector{1, 2}, Vector{1.05, 2}, 0.1) {
+		t.Fatal("Equal rejected within-tolerance vectors")
+	}
+	if Equal(Vector{1, 2}, Vector{1.2, 2}, 0.1) {
+		t.Fatal("Equal accepted out-of-tolerance vectors")
+	}
+}
+
+// Properties: triangle inequality and Cauchy-Schwarz on random vectors.
+func TestQuickMetricProperties(t *testing.T) {
+	clean := func(xs []float64) Vector {
+		v := make(Vector, 4)
+		for i := range v {
+			if i < len(xs) && !math.IsNaN(xs[i]) && !math.IsInf(xs[i], 0) {
+				v[i] = math.Mod(xs[i], 1e6)
+			}
+		}
+		return v
+	}
+	f := func(xs, ys, zs []float64) bool {
+		a, b, c := clean(xs), clean(ys), clean(zs)
+		// Triangle inequality.
+		if Dist2(a, c) > Dist2(a, b)+Dist2(b, c)+1e-6 {
+			return false
+		}
+		// Cauchy-Schwarz.
+		if math.Abs(Dot(a, b)) > Norm2(a)*Norm2(b)+1e-6 {
+			return false
+		}
+		// Dist2^2 == SqDist2.
+		d := Dist2(a, b)
+		return math.Abs(d*d-SqDist2(a, b)) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package vkg
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vkgraph/internal/core"
+)
+
+// Save writes the whole virtual knowledge graph — graph, trained embedding,
+// parameters, and the shape of the cracked index — to w. The index shape is
+// the part the query workload paid for: loading it back preserves the warm,
+// workload-fitted structure across restarts.
+func (v *VKG) Save(w io.Writer) error {
+	if v.noIdx {
+		return fmt.Errorf("vkg: ModeNoIndex has no index to save")
+	}
+	return v.eng.Save(w)
+}
+
+// SaveFile writes the virtual knowledge graph to path.
+func (v *VKG) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := v.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a virtual knowledge graph written by Save.
+func Load(r io.Reader) (*VKG, error) {
+	eng, err := core.LoadEngine(r)
+	if err != nil {
+		return nil, err
+	}
+	return &VKG{
+		graph: WrapGraph(eng.Graph()),
+		eng:   eng,
+	}, nil
+}
+
+// LoadFile reads a virtual knowledge graph from path.
+func LoadFile(path string) (*VKG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

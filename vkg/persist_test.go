@@ -1,0 +1,105 @@
+package vkg
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g, ratesHigh, _ := buildTestGraph(t)
+	v, err := Build(g, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amy, _ := g.EntityByName("user0")
+	// Warm the index so there is real shape to preserve.
+	for i := 0; i < 8; i++ {
+		if _, err := v.TopKTails(amy, ratesHigh, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := v.TopKTails(amy, ratesHigh, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := v.IndexStats()
+
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	statsAfter := loaded.IndexStats()
+	if statsAfter.TotalNodes != statsBefore.TotalNodes ||
+		statsAfter.BinarySplits != statsBefore.BinarySplits {
+		t.Fatalf("index shape changed: %+v vs %+v", statsAfter, statsBefore)
+	}
+
+	amy2, ok := loaded.Graph().EntityByName("user0")
+	if !ok || amy2 != amy {
+		t.Fatalf("entity ids changed: %d vs %d", amy2, amy)
+	}
+	got, err := loaded.TopKTails(amy2, ratesHigh, 5)
+	if err != nil {
+		t.Fatalf("query on loaded VKG: %v", err)
+	}
+	for i := range want.Predictions {
+		if got.Predictions[i].Entity != want.Predictions[i].Entity {
+			t.Fatalf("answers changed after round trip: %v vs %v",
+				got.Predictions, want.Predictions)
+		}
+	}
+
+	// Aggregates still work (attribute columns re-registered).
+	r1, _ := loaded.Graph().EntityByName("restaurant1")
+	if _, err := loaded.AggregateHeads(r1, ratesHigh, AggSpec{Kind: Avg, Attr: "age"}); err != nil {
+		t.Fatalf("aggregate on loaded VKG: %v", err)
+	}
+	// Dynamic updates still work.
+	if _, err := loaded.InsertEntity("late", "restaurant",
+		[]Fact{{Rel: ratesHigh, Other: amy2}}, nil); err != nil {
+		t.Fatalf("insert on loaded VKG: %v", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g, ratesHigh, _ := buildTestGraph(t)
+	v, err := Build(g, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amy, _ := g.EntityByName("user0")
+	if _, err := v.TopKTails(amy, ratesHigh, 5); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "v.vkg")
+	if err := v.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if loaded.Graph().NumEntities() != g.NumEntities() {
+		t.Fatal("entities lost in file round trip")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.vkg")); err == nil {
+		t.Fatal("LoadFile accepted a missing file")
+	}
+}
+
+func TestSaveNoIndexRejected(t *testing.T) {
+	g, _, _ := buildTestGraph(t)
+	v, err := Build(g, fastOpts(WithIndexMode(ModeNoIndex))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err == nil {
+		t.Fatal("Save accepted ModeNoIndex")
+	}
+}

@@ -1,0 +1,216 @@
+package vkg
+
+import (
+	"fmt"
+
+	"vkgraph/internal/core"
+)
+
+// Prediction is one predicted edge: the entity, its embedding distance to
+// the query point (smaller is more plausible), and the predicted
+// probability (1 for the closest entity, decaying inversely with distance).
+type Prediction struct {
+	Entity EntityID
+	Name   string
+	Dist   float64
+	Prob   float64
+}
+
+// TopKResult carries the ranked predictions with the paper's Theorem 2
+// accuracy guarantee.
+type TopKResult struct {
+	Predictions []Prediction
+	// RecallBound is a lower bound on the probability that no true top-k
+	// entity is missing from Predictions.
+	RecallBound float64
+	// ExpectedMisses bounds the expected number of true top-k entities
+	// missing from Predictions.
+	ExpectedMisses float64
+	// Examined is how many candidate entities the query had to score.
+	Examined int
+}
+
+// TopKTails returns the k entities most likely to be a tail of (h, r, ?),
+// excluding facts already in the graph — e.g. "top-5 restaurants Amy would
+// rate high but has not been to yet".
+func (v *VKG) TopKTails(h EntityID, r RelationID, k int) (*TopKResult, error) {
+	var res *core.TopKResult
+	var err error
+	if v.noIdx {
+		res, err = v.eng.TopKTailsNoIndex(h, r, k)
+	} else {
+		res, err = v.eng.TopKTails(h, r, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.convert(res), nil
+}
+
+// TopKHeads returns the k entities most likely to be a head of (?, r, t) —
+// e.g. "top-5 people who would like Restaurant 2".
+func (v *VKG) TopKHeads(t EntityID, r RelationID, k int) (*TopKResult, error) {
+	var res *core.TopKResult
+	var err error
+	if v.noIdx {
+		res, err = v.eng.TopKHeadsNoIndex(t, r, k)
+	} else {
+		res, err = v.eng.TopKHeads(t, r, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.convert(res), nil
+}
+
+func (v *VKG) convert(res *core.TopKResult) *TopKResult {
+	out := &TopKResult{
+		RecallBound:    res.RecallBound,
+		ExpectedMisses: res.ExpectedMisses,
+		Examined:       res.Examined,
+	}
+	for _, p := range res.Predictions {
+		out.Predictions = append(out.Predictions, Prediction{
+			Entity: p.Entity,
+			Name:   v.graph.EntityName(p.Entity),
+			Dist:   p.Dist,
+			Prob:   p.Prob,
+		})
+	}
+	return out
+}
+
+// AggKind selects the aggregate function.
+type AggKind int
+
+const (
+	Count AggKind = iota
+	Sum
+	Avg
+	Max
+	Min
+)
+
+// AggSpec describes an aggregate query over predicted edges.
+type AggSpec struct {
+	Kind AggKind
+	// Attr is the aggregated attribute (registered via WithAttributes);
+	// ignored for Count.
+	Attr string
+	// MaxAccess is the sample size a: the number of closest ball entities
+	// whose attributes are materialized. 0 accesses the whole ball. This
+	// is the speed/accuracy knob of Figures 12-16.
+	MaxAccess int
+	// ProbThreshold overrides the build-time p_tau for this query.
+	ProbThreshold float64
+}
+
+// AggResult is an aggregate estimate with its Theorem 4 martingale bound.
+type AggResult struct {
+	Value    float64
+	Accessed int // a: ball entities actually materialized
+	BallSize int // b: entities in the probability ball
+
+	inner core.AggResult
+}
+
+// ErrorProbability bounds the probability that the ground-truth aggregate
+// deviates from Value by more than the given relative delta (Theorem 4).
+func (r *AggResult) ErrorProbability(delta float64) float64 {
+	return r.inner.ErrorProbability(delta)
+}
+
+// ConfidenceRadius returns the relative error radius guaranteed with the
+// given confidence (e.g. 0.95).
+func (r *AggResult) ConfidenceRadius(conf float64) float64 {
+	return r.inner.ConfidenceRadius(conf)
+}
+
+func convertAgg(spec AggSpec) (core.AggQuery, error) {
+	q := core.AggQuery{
+		Attr:      spec.Attr,
+		MaxAccess: spec.MaxAccess,
+		PTau:      spec.ProbThreshold,
+	}
+	switch spec.Kind {
+	case Count:
+		q.Kind = core.Count
+	case Sum:
+		q.Kind = core.Sum
+	case Avg:
+		q.Kind = core.Avg
+	case Max:
+		q.Kind = core.Max
+	case Min:
+		q.Kind = core.Min
+	default:
+		return q, fmt.Errorf("vkg: unknown aggregate kind %d", spec.Kind)
+	}
+	return q, nil
+}
+
+// AggregateTails estimates an aggregate over the predicted tails of
+// (h, r, ?) — e.g. "the expected number of restaurants Amy may like".
+func (v *VKG) AggregateTails(h EntityID, r RelationID, spec AggSpec) (*AggResult, error) {
+	q, err := convertAgg(spec)
+	if err != nil {
+		return nil, err
+	}
+	var res *core.AggResult
+	if v.noIdx {
+		res, err = v.eng.AggregateTailsExact(h, r, q)
+	} else {
+		res, err = v.eng.AggregateTails(h, r, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &AggResult{Value: res.Value, Accessed: res.Accessed, BallSize: res.BallSize, inner: *res}, nil
+}
+
+// AggregateHeads estimates an aggregate over the predicted heads of
+// (?, r, t) — e.g. "the average age of the people who would like
+// Restaurant 2" (Q2 of the paper).
+func (v *VKG) AggregateHeads(t EntityID, r RelationID, spec AggSpec) (*AggResult, error) {
+	q, err := convertAgg(spec)
+	if err != nil {
+		return nil, err
+	}
+	var res *core.AggResult
+	if v.noIdx {
+		res, err = v.eng.AggregateHeadsExact(t, r, q)
+	} else {
+		res, err = v.eng.AggregateHeads(t, r, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &AggResult{Value: res.Value, Accessed: res.Accessed, BallSize: res.BallSize, inner: *res}, nil
+}
+
+// IndexStats summarizes the index structure: node counts, binary splits
+// performed, and estimated size in bytes. For a cracking index these grow
+// with the query workload and converge quickly (Figs. 9-11 of the paper).
+type IndexStats struct {
+	InternalNodes int
+	LeafNodes     int
+	PendingNodes  int
+	TotalNodes    int
+	BinarySplits  int
+	SizeBytes     int
+	Height        int
+}
+
+// IndexStats returns current index statistics.
+func (v *VKG) IndexStats() IndexStats {
+	s := v.eng.IndexStats()
+	return IndexStats{
+		InternalNodes: s.InternalNodes,
+		LeafNodes:     s.LeafNodes,
+		PendingNodes:  s.PendingNodes,
+		TotalNodes:    s.TotalNodes,
+		BinarySplits:  s.BinarySplits,
+		SizeBytes:     s.SizeBytes,
+		Height:        s.Height,
+	}
+}

@@ -1,0 +1,46 @@
+package vkg
+
+import "testing"
+
+func TestDynamicUpdatesThroughFacade(t *testing.T) {
+	g, ratesHigh, _ := buildTestGraph(t)
+	v, err := Build(g, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amy, _ := g.EntityByName("user0")
+
+	res, err := v.TopKTails(amy, ratesHigh, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Predictions[0].Entity
+	if err := v.AddFact(amy, ratesHigh, top); err != nil {
+		t.Fatalf("AddFact: %v", err)
+	}
+	res2, err := v.TopKTails(amy, ratesHigh, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res2.Predictions {
+		if p.Entity == top {
+			t.Fatal("recorded fact still predicted")
+		}
+	}
+
+	id, err := v.InsertEntity("Restaurant 99", "restaurant",
+		[]Fact{{Rel: ratesHigh, Other: amy}},
+		map[string]float64{"age": 0}) // attrs are free-form columns
+	if err != nil {
+		t.Fatalf("InsertEntity: %v", err)
+	}
+	if name := g.EntityName(id); name != "Restaurant 99" {
+		t.Fatalf("new entity name %q", name)
+	}
+	if !g.HasEdge(amy, ratesHigh, id) {
+		t.Fatal("initial fact missing")
+	}
+	if _, err := v.InsertEntity("x", "restaurant", nil, nil); err == nil {
+		t.Fatal("insert without facts accepted")
+	}
+}
