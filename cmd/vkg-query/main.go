@@ -10,6 +10,14 @@
 // REPL (reads "tails|heads|agg <entity> <relation> [k|kind attr]" lines):
 //
 //	vkg-query -graph movie.graph -model movie.model -repl
+//
+// Snapshots: "save <path>" in the REPL writes the whole engine — including
+// the query-warmed index shape — to a crash-safe snapshot; -snapshot loads
+// one instead of -graph/-model. If the snapshot's index section is damaged,
+// the engine still comes up (graph and model are checksummed separately) and
+// a warning reports that the index was rebuilt cold.
+//
+//	vkg-query -snapshot movie.vkg -repl
 package main
 
 import (
@@ -28,8 +36,9 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "graph file (required)")
-		modelPath = flag.String("model", "", "model file (required)")
+		graphPath = flag.String("graph", "", "graph file (required unless -snapshot)")
+		modelPath = flag.String("model", "", "model file (required unless -snapshot)")
+		snapshot  = flag.String("snapshot", "", "engine snapshot file (replaces -graph/-model)")
 		entity    = flag.String("entity", "", "query entity name")
 		rel       = flag.String("rel", "", "relationship name")
 		k         = flag.Int("k", 5, "top-k")
@@ -40,27 +49,42 @@ func main() {
 		alpha     = flag.Int("alpha", 3, "index dimensionality")
 	)
 	flag.Parse()
-	if *graphPath == "" || *modelPath == "" {
-		fmt.Fprintln(os.Stderr, "vkg-query: -graph and -model are required")
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	g, err := kg.LoadFile(*graphPath)
-	if err != nil {
-		fatal("loading graph: %v", err)
+	var eng *core.Engine
+	if *snapshot != "" {
+		var err error
+		eng, err = core.LoadEngineFile(*snapshot)
+		if err != nil {
+			fatal("loading snapshot: %v", err)
+		}
+		if eng.IndexRebuilt() {
+			fmt.Fprintln(os.Stderr,
+				"vkg-query: warning: snapshot index section was damaged; "+
+					"graph and model loaded intact, index rebuilt cold and will re-warm with queries")
+		}
+	} else {
+		if *graphPath == "" || *modelPath == "" {
+			fmt.Fprintln(os.Stderr, "vkg-query: -graph and -model (or -snapshot) are required")
+			flag.Usage()
+			os.Exit(2)
+		}
+		g, err := kg.LoadFile(*graphPath)
+		if err != nil {
+			fatal("loading graph: %v", err)
+		}
+		m, err := embedding.LoadFile(*modelPath)
+		if err != nil {
+			fatal("loading model: %v", err)
+		}
+		p := core.DefaultParams()
+		p.Alpha = *alpha
+		p.Attrs = g.AttrNames()
+		eng, err = core.NewEngine(g, m, core.Crack, p)
+		if err != nil {
+			fatal("building engine: %v", err)
+		}
 	}
-	m, err := embedding.LoadFile(*modelPath)
-	if err != nil {
-		fatal("loading model: %v", err)
-	}
-	p := core.DefaultParams()
-	p.Alpha = *alpha
-	p.Attrs = g.AttrNames()
-	eng, err := core.NewEngine(g, m, core.Crack, p)
-	if err != nil {
-		fatal("building engine: %v", err)
-	}
+	g := eng.Graph()
 
 	if *repl {
 		runREPL(eng, g)
@@ -162,7 +186,7 @@ func runREPL(eng *core.Engine, g *kg.Graph) {
 	fmt.Println("  tails <entity> <relation> [k]")
 	fmt.Println("  heads <entity> <relation> [k]")
 	fmt.Println("  agg <entity> <relation> <count|sum|avg|max|min> [attr]")
-	fmt.Println("  stats | quit")
+	fmt.Println("  save <path> | stats | quit")
 	sc := bufio.NewScanner(os.Stdin)
 	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
 		fields := strings.Fields(sc.Text())
@@ -172,6 +196,16 @@ func runREPL(eng *core.Engine, g *kg.Graph) {
 		switch fields[0] {
 		case "quit", "exit":
 			return
+		case "save":
+			if len(fields) != 2 {
+				fmt.Println("usage: save <path>")
+				continue
+			}
+			if err := eng.SaveFile(fields[1]); err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Printf("snapshot written to %s\n", fields[1])
 		case "stats":
 			s := eng.IndexStats()
 			fmt.Printf("index: %d nodes (%d internal, %d leaves, %d pending), %d splits, %d bytes, height %d\n",

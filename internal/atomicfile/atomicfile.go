@@ -1,0 +1,83 @@
+// Package atomicfile implements crash-safe file replacement: content is
+// written to a temporary file in the destination directory, flushed, fsynced,
+// closed, and only then renamed over the destination. A crash (or an injected
+// fault) at any point before the rename leaves the previous file untouched;
+// the rename itself is atomic on POSIX filesystems.
+//
+// The file operations go through the FS interface so tests can inject
+// failures at every step (see internal/faultio).
+package atomicfile
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the atomic writer needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS abstracts the three filesystem operations of an atomic replace. The
+// production implementation is OS; internal/faultio provides an
+// error-injecting one.
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// Either the destination ends up with the complete new content, or it is
+// left exactly as it was and an error is returned; the temporary file is
+// removed on every failure path.
+func WriteFile(path string, write func(io.Writer) error) error {
+	return Write(OS, path, write)
+}
+
+// Write is WriteFile over an explicit FS.
+func Write(fsys FS, path string, write func(io.Writer) error) (err error) {
+	f, err := fsys.CreateTemp(filepath.Dir(path), ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	closed := false
+	defer func() {
+		if !closed {
+			f.Close() // the write/flush/sync error already won; ignore
+		}
+		if err != nil {
+			fsys.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	closed = true
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, path)
+}

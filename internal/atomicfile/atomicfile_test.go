@@ -1,0 +1,69 @@
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteFile (replace): %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "second" {
+		t.Fatalf("read back (%q, %v), want \"second\"", got, err)
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want only the destination (temp leaked?)", len(ents))
+	}
+}
+
+func TestWriteCallbackErrorKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := io.ErrClosedPipe
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, strings.Repeat("x", 1<<16)) // force some bytes to disk
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("got %v, want the callback error", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("destination is %q after failed write, want \"old\"", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp file leaked: %d entries", len(ents))
+	}
+}
+
+func TestWriteMissingDirFails(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), func(w io.Writer) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}

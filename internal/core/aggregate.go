@@ -99,24 +99,32 @@ func (r AggResult) ConfidenceRadius(conf float64) float64 {
 
 // AggregateTails answers an aggregate query over the predicted tails of
 // (h, r, ?): Q2 of the paper ("average age of people who would like
-// Restaurant 2" is the symmetric AggregateHeads).
+// Restaurant 2" is the symmetric AggregateHeads). Safe for concurrent use.
 func (e *Engine) AggregateTails(h kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
+	e.prepareIndex()
+	e.mu.RLock()
 	if err := e.validateEntity(h); err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	if err := e.validateRelation(r); err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	return e.aggregate(e.m.TailQueryPoint(h, r), q, e.skipTails(h, r))
 }
 
 // AggregateHeads answers an aggregate query over the predicted heads of
-// (?, r, t).
+// (?, r, t). Safe for concurrent use.
 func (e *Engine) AggregateHeads(t kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
+	e.prepareIndex()
+	e.mu.RLock()
 	if err := e.validateEntity(t); err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	if err := e.validateRelation(r); err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	return e.aggregate(e.m.HeadQueryPoint(t, r), q, e.skipHeads(t, r))
@@ -138,14 +146,20 @@ type ballPoint struct {
 // query point, access the a closest points, estimate the aggregate by
 // Equation 3 (COUNT/SUM/AVG) or Equation 4 (MAX/MIN), and report the
 // Theorem 4 bound parameters.
+//
+// The caller holds the engine read lock; aggregate releases it on every
+// path, upgrading to the write lock for the cracking step only when the
+// query region actually needs it (see Engine.finishQuery).
 func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool) (*AggResult, error) {
 	attrIdx := -1
 	if q.Kind != Count {
 		if q.Attr == "" {
+			e.mu.RUnlock()
 			return nil, errors.New("core: aggregate needs an attribute")
 		}
 		attrIdx = e.ps.AttrIndex(q.Attr)
 		if attrIdx < 0 {
+			e.mu.RUnlock()
 			return nil, fmt.Errorf("core: attribute %q not registered with the index", q.Attr)
 		}
 	}
@@ -162,6 +176,7 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 	// distortion when measured in S2).
 	d1 := e.nearestDist(q1, q2, skip)
 	if math.IsInf(d1, 1) {
+		e.mu.RUnlock()
 		return &AggResult{}, nil // no candidate entities at all
 	}
 	if d1 <= 0 {
@@ -236,8 +251,9 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 	vm := e.tailMaxAbs(q2, r2, attrIdx, ball[:a], q.Kind)
 
 	// Crack the index for this query region: aggregate queries shape the
-	// index exactly as top-k queries do.
-	e.tree.Crack(rtree.BallRect(q2, r2))
+	// index exactly as top-k queries do. finishQuery releases the read lock
+	// and only takes the write lock when the region still needs splits.
+	e.finishQuery(rtree.BallRect(q2, r2), true)
 
 	res := &AggResult{Accessed: a, BallSize: b, VM: vm}
 	for i := 0; i < a; i++ {
@@ -256,11 +272,15 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 			res.Value = sum / cnt
 		}
 	case Max:
-		res.Value = math.Max(estimateMax(ball[:a], false),
-			e.elementBound(q2, r2, attrIdx, false))
+		e.mu.RLock()
+		eb := e.elementBound(q2, r2, attrIdx, false)
+		e.mu.RUnlock()
+		res.Value = math.Max(estimateMax(ball[:a], false), eb)
 	case Min:
-		res.Value = math.Min(estimateMax(ball[:a], true),
-			e.elementBound(q2, r2, attrIdx, true))
+		e.mu.RLock()
+		eb := e.elementBound(q2, r2, attrIdx, true)
+		e.mu.RUnlock()
+		res.Value = math.Min(estimateMax(ball[:a], true), eb)
 	default:
 		return nil, fmt.Errorf("core: unknown aggregate kind %v", q.Kind)
 	}

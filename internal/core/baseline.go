@@ -14,7 +14,11 @@ import (
 // (Figures 4, 6, 8) and for the aggregate experiments (Figures 12-16).
 
 // TopKTailsNoIndex answers the tail query by scanning all entities in S1.
+// The scan never touches the index, so the whole query runs under the read
+// lock (safe for concurrent use, and never blocks other queries).
 func (e *Engine) TopKTailsNoIndex(h kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if err := e.validateEntity(h); err != nil {
 		return nil, err
 	}
@@ -26,6 +30,8 @@ func (e *Engine) TopKTailsNoIndex(h kg.EntityID, r kg.RelationID, k int) (*TopKR
 
 // TopKHeadsNoIndex answers the head query by scanning all entities in S1.
 func (e *Engine) TopKHeadsNoIndex(t kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if err := e.validateEntity(t); err != nil {
 		return nil, err
 	}
@@ -53,6 +59,8 @@ func (e *Engine) scanTopK(q1 []float64, k int, skip func(kg.EntityID) bool) *Top
 // accessed (a = b). This is the reference for the accuracy metric
 // 1 - |v_returned - v_true| / v_true of Figures 12-16.
 func (e *Engine) AggregateTailsExact(h kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if err := e.validateEntity(h); err != nil {
 		return nil, err
 	}
@@ -64,6 +72,8 @@ func (e *Engine) AggregateTailsExact(h kg.EntityID, r kg.RelationID, q AggQuery)
 
 // AggregateHeadsExact is the head-side ground-truth aggregate.
 func (e *Engine) AggregateHeadsExact(t kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if err := e.validateEntity(t); err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"vkgraph/internal/embedding"
 	"vkgraph/internal/jl"
@@ -58,7 +59,31 @@ func DefaultParams() Params {
 
 // Engine answers predictive top-k and aggregate queries over a virtual
 // knowledge graph.
+//
+// # Concurrency
+//
+// The engine is safe for concurrent use through its query and update
+// methods: TopKTails/TopKHeads, AggregateTails/AggregateHeads (and their
+// NoIndex/Exact variants), AddFact, InsertEntity, Save, and IndexStats.
+// The paper's core idea makes even read-only-looking queries potential
+// writers — cracking means queries mutate the index — so the discipline is:
+//
+//   - queries run under a read lock and, after computing their answer,
+//     probe the index with rtree.NeedsCrack; only when the query region
+//     actually requires new splits do they retake the lock in write mode
+//     to crack. Warm regions (the common case once the index converges,
+//     Figs. 9-11) never serialize.
+//   - AddFact and InsertEntity are writers and fully serialize.
+//   - Save runs under the read lock: snapshots don't block queries.
+//
+// The raw accessors (Graph, Model, Tree, Transform) expose unsynchronized
+// internals for the module's own single-threaded tools; do not mix them
+// with concurrent updates.
 type Engine struct {
+	// mu is the engine-level reader/writer lock described above. It also
+	// guards the graph and model, which grow through InsertEntity.
+	mu sync.RWMutex
+
 	g      *kg.Graph
 	m      *embedding.Model
 	tf     *jl.Transform
@@ -68,6 +93,10 @@ type Engine struct {
 
 	params Params
 	mode   IndexMode
+
+	// degraded records that LoadEngine had to rebuild a cold index because
+	// the snapshot's index section was damaged.
+	degraded bool
 }
 
 // NewEngine builds the query engine: projects every entity embedding into
@@ -132,8 +161,69 @@ func (e *Engine) Tree() *rtree.Tree { return e.tree }
 // Params returns the engine parameters.
 func (e *Engine) Params() Params { return e.params }
 
+// Mode returns the index mode the engine was built (or loaded) with.
+func (e *Engine) Mode() IndexMode { return e.mode }
+
+// IndexRebuilt reports whether this engine came from a snapshot whose index
+// section was damaged: the graph and model loaded intact, but the index was
+// rebuilt cold and the workload-paid-for shape was lost.
+func (e *Engine) IndexRebuilt() bool { return e.degraded }
+
+// EntityName returns the display name of an entity, synchronized against
+// concurrent InsertEntity calls.
+func (e *Engine) EntityName(id kg.EntityID) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if id < 0 || int(id) >= e.g.NumEntities() {
+		return ""
+	}
+	return e.g.Entity(id).Name
+}
+
 // IndexStats reports the index structure counters (Figs. 9-11).
-func (e *Engine) IndexStats() rtree.Stats { return e.tree.Stats() }
+func (e *Engine) IndexStats() rtree.Stats {
+	e.prepareIndex()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tree.Stats()
+}
+
+// prepareIndex materializes the lazy index root under the write lock, so
+// that everything that follows under the read lock is genuinely read-only.
+// A no-op (one atomic-free boolean check under the read lock) once the root
+// exists.
+func (e *Engine) prepareIndex() {
+	e.mu.RLock()
+	ready := e.tree.Ready()
+	e.mu.RUnlock()
+	if ready {
+		return
+	}
+	e.mu.Lock()
+	e.tree.Prepare()
+	e.mu.Unlock()
+}
+
+// finishQuery completes a query that was computed under the read lock (which
+// the caller still holds): if the query region still needs cracking, the
+// lock is retaken in write mode and the index cracked; otherwise the region
+// is warm and only the query counter is touched. The read lock is released
+// either way.
+func (e *Engine) finishQuery(q rtree.Rect, doCrack bool) {
+	if !doCrack {
+		e.mu.RUnlock()
+		return
+	}
+	needs := e.tree.NeedsCrack(q)
+	e.mu.RUnlock()
+	if !needs {
+		e.tree.NoteQuery()
+		return
+	}
+	e.mu.Lock()
+	e.tree.Crack(q)
+	e.mu.Unlock()
+}
 
 // s1Dist returns the S1 distance between query point q1 and entity id,
 // under the embedding's norm.

@@ -7,10 +7,12 @@ import (
 	"io"
 	"os"
 
+	"vkgraph/internal/atomicfile"
 	"vkgraph/internal/embedding"
 	"vkgraph/internal/jl"
 	"vkgraph/internal/kg"
 	"vkgraph/internal/rtree"
+	"vkgraph/internal/snapfmt"
 )
 
 // Engine persistence: one file holds the graph, the trained embedding, the
@@ -18,18 +20,43 @@ import (
 // value the query workload paid for. On load, the S2 points, the JL
 // transform, and the Morton layout are rebuilt deterministically from the
 // model and the saved seed.
+//
+// The snapshot is a snapfmt container (magic, version, per-section CRC32):
+// meta, graph, and model sections first, the index section last. Damage to
+// any of the first three is unrecoverable and reported as a typed error;
+// damage confined to the index section degrades gracefully — the graph and
+// model are intact, so a cold cracking index is rebuilt and only the
+// workload-paid-for shape is lost (Engine.IndexRebuilt reports this).
 
-type wireEngine struct {
-	Params   Params
-	Mode     IndexMode
-	GraphGob []byte
-	ModelGob []byte
-	TreeGob  []byte
+const (
+	engineMagic   = "VKGSNAP\x00"
+	engineVersion = 1
+
+	secMeta  = 1
+	secGraph = 2
+	secModel = 3
+	secTree  = 4
+
+	engineSections = 4
+)
+
+// wireMeta carries the engine parameters and index mode.
+type wireMeta struct {
+	Params Params
+	Mode   IndexMode
 }
 
-// Save writes the engine (graph, model, parameters, index shape) to w.
+// Save writes the engine (graph, model, parameters, index shape) to w. It
+// runs under the engine read lock, so snapshots are consistent and may run
+// concurrently with queries; updates wait until the snapshot is encoded.
 func (e *Engine) Save(w io.Writer) error {
-	var graphBuf, modelBuf, treeBuf bytes.Buffer
+	e.prepareIndex() // materialize the lazy root before going read-only
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var metaBuf, graphBuf, modelBuf, treeBuf bytes.Buffer
+	if err := gob.NewEncoder(&metaBuf).Encode(wireMeta{Params: e.params, Mode: e.mode}); err != nil {
+		return fmt.Errorf("core: saving params: %w", err)
+	}
 	if err := e.g.Save(&graphBuf); err != nil {
 		return fmt.Errorf("core: saving graph: %w", err)
 	}
@@ -39,30 +66,71 @@ func (e *Engine) Save(w io.Writer) error {
 	if err := e.tree.Save(&treeBuf); err != nil {
 		return fmt.Errorf("core: saving index: %w", err)
 	}
-	return gob.NewEncoder(w).Encode(wireEngine{
-		Params:   e.params,
-		Mode:     e.mode,
-		GraphGob: graphBuf.Bytes(),
-		ModelGob: modelBuf.Bytes(),
-		TreeGob:  treeBuf.Bytes(),
-	})
+	if err := snapfmt.WriteHeader(w, engineMagic, engineVersion, engineSections); err != nil {
+		return err
+	}
+	for _, sec := range []struct {
+		kind    uint8
+		payload []byte
+	}{
+		{secMeta, metaBuf.Bytes()},
+		{secGraph, graphBuf.Bytes()},
+		{secModel, modelBuf.Bytes()},
+		{secTree, treeBuf.Bytes()},
+	} {
+		if err := snapfmt.WriteSection(w, sec.kind, sec.payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // LoadEngine reads an engine written by Save.
+//
+// Error contract: a stream that is not a snapshot, fails a checksum in the
+// meta/graph/model sections, or is truncated before the index section
+// returns an error satisfying errors.Is(err, snapfmt.ErrCorrupt); a
+// snapshot from an incompatible format version returns snapfmt.ErrVersion.
+// Damage confined to the index section does NOT fail the load: the graph
+// and model are intact, so the engine comes up with a freshly built cold
+// index and IndexRebuilt() reporting true.
 func LoadEngine(r io.Reader) (*Engine, error) {
-	var wire wireEngine
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("core: decode engine: %w", err)
+	if _, _, err := snapfmt.ReadHeader(r, engineMagic, engineVersion); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	g, err := kg.Load(bytes.NewReader(wire.GraphGob))
+	var meta wireMeta
+	sections := make(map[uint8][]byte, engineSections)
+	var treeErr error
+	for i := 0; i < engineSections; i++ {
+		kind, payload, err := snapfmt.ReadSection(r)
+		if err != nil {
+			// The index section is the last one and the only rebuildable
+			// one; any damage at or after its frame degrades instead of
+			// failing, provided the unrecoverable sections all arrived.
+			if haveCoreSections(sections) {
+				treeErr = err
+				break
+			}
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		sections[kind] = payload
+	}
+	if !haveCoreSections(sections) {
+		return nil, fmt.Errorf("core: snapshot missing sections: %w", snapfmt.ErrCorrupt)
+	}
+
+	if err := gob.NewDecoder(bytes.NewReader(sections[secMeta])).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("core: decode params: %v: %w", err, snapfmt.ErrCorrupt)
+	}
+	g, err := kg.Load(bytes.NewReader(sections[secGraph]))
 	if err != nil {
 		return nil, fmt.Errorf("core: loading graph: %w", err)
 	}
-	m, err := embedding.Load(bytes.NewReader(wire.ModelGob))
+	m, err := embedding.Load(bytes.NewReader(sections[secModel]))
 	if err != nil {
 		return nil, fmt.Errorf("core: loading model: %w", err)
 	}
-	p := wire.Params
+	p := meta.Params
 
 	tf := jl.New(m.Dim, p.Alpha, p.Seed)
 	coords := tf.ApplyAll(m.Entities)
@@ -74,33 +142,49 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		}
 		ps.RegisterAttr(name, col)
 	}
-	tree, err := rtree.Load(bytes.NewReader(wire.TreeGob), ps)
-	if err != nil {
-		return nil, fmt.Errorf("core: loading index: %w", err)
+
+	var tree *rtree.Tree
+	degraded := false
+	if treeErr == nil {
+		tree, treeErr = rtree.Load(bytes.NewReader(sections[secTree]), ps)
+	}
+	if treeErr != nil {
+		// Graph and model survived; rebuild a cold index rather than fail.
+		degraded = true
+		switch meta.Mode {
+		case Bulk:
+			tree = rtree.NewBulkLoaded(ps, p.Index)
+		default:
+			tree = rtree.NewCracking(ps, p.Index)
+		}
 	}
 	return &Engine{
-		g:      g,
-		m:      m,
-		tf:     tf,
-		ps:     ps,
-		tree:   tree,
-		layout: newS1Layout(m, coords, p.Alpha),
-		params: p,
-		mode:   wire.Mode,
+		g:        g,
+		m:        m,
+		tf:       tf,
+		ps:       ps,
+		tree:     tree,
+		layout:   newS1Layout(m, coords, p.Alpha),
+		params:   p,
+		mode:     meta.Mode,
+		degraded: degraded,
 	}, nil
 }
 
-// SaveFile writes the engine to path.
+func haveCoreSections(sections map[uint8][]byte) bool {
+	for _, kind := range []uint8{secMeta, secGraph, secModel} {
+		if _, ok := sections[kind]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SaveFile writes the engine to path atomically: the bytes land in a temp
+// file that is synced and renamed over path, so a crash mid-save leaves any
+// previous snapshot untouched.
 func (e *Engine) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := e.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, e.Save)
 }
 
 // LoadEngineFile reads an engine from path.

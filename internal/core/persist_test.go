@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"vkgraph/internal/snapfmt"
+)
+
+// savedEngine builds a warmed engine and returns it with its snapshot bytes.
+func savedEngine(t *testing.T, mode IndexMode) (*Engine, []byte) {
+	t.Helper()
+	eng, _ := testEngine(t, mode, defaultTestParams())
+	for i := 0; i < 6; i++ {
+		if _, err := eng.TopKTails(0, 0, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return eng, buf.Bytes()
+}
+
+// sectionSpan locates a section's payload inside a snapshot: the container
+// is a 12-byte header followed by kind(1)|len(4)|crc(4)|payload frames.
+func sectionSpan(t *testing.T, snap []byte, kind uint8) (start, length int) {
+	t.Helper()
+	off := snapfmt.MagicLen + 4
+	for off+9 <= len(snap) {
+		k := snap[off]
+		n := int(binary.LittleEndian.Uint32(snap[off+1 : off+5]))
+		if k == kind {
+			return off + 9, n
+		}
+		off += 9 + n
+	}
+	t.Fatalf("section %d not found in %d-byte snapshot", kind, len(snap))
+	return 0, 0
+}
+
+func TestLoadEngineRoundTrip(t *testing.T) {
+	eng, snap := savedEngine(t, Crack)
+	got, err := LoadEngine(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatalf("LoadEngine: %v", err)
+	}
+	if got.IndexRebuilt() {
+		t.Fatal("clean load reported a rebuilt index")
+	}
+	if got.Mode() != Crack {
+		t.Fatalf("mode %v after round trip, want Crack", got.Mode())
+	}
+	want, err := eng.TopKTails(1, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := got.TopKTails(1, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Predictions {
+		if res.Predictions[i].Entity != want.Predictions[i].Entity {
+			t.Fatalf("answers diverged after round trip: %v vs %v", res.Predictions, want.Predictions)
+		}
+	}
+}
+
+func TestLoadEngineTypedErrors(t *testing.T) {
+	_, snap := savedEngine(t, Crack)
+	graphStart, graphLen := sectionSpan(t, snap, secGraph)
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, snapfmt.ErrCorrupt},
+		{"garbage", []byte("definitely not a snapshot"), snapfmt.ErrCorrupt},
+		{"truncated in graph", snap[:graphStart+graphLen/2], snapfmt.ErrCorrupt},
+	}
+	for _, c := range cases {
+		if _, err := LoadEngine(bytes.NewReader(c.data)); !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want errors.Is %v", c.name, err, c.want)
+		}
+	}
+
+	// Bumped format version.
+	bad := append([]byte(nil), snap...)
+	binary.LittleEndian.PutUint16(bad[snapfmt.MagicLen:], engineVersion+1)
+	if _, err := LoadEngine(bytes.NewReader(bad)); !errors.Is(err, snapfmt.ErrVersion) {
+		t.Errorf("future version: got %v, want errors.Is ErrVersion", err)
+	}
+
+	// Bit rot in an unrecoverable section (the graph) fails the load.
+	bad = append([]byte(nil), snap...)
+	bad[graphStart+graphLen/3] ^= 0x10
+	if _, err := LoadEngine(bytes.NewReader(bad)); !errors.Is(err, snapfmt.ErrCorrupt) {
+		t.Errorf("corrupt graph: got %v, want errors.Is ErrCorrupt", err)
+	}
+
+	// Same for the meta section.
+	metaStart, _ := sectionSpan(t, snap, secMeta)
+	bad = append([]byte(nil), snap...)
+	bad[metaStart] ^= 0x10
+	if _, err := LoadEngine(bytes.NewReader(bad)); !errors.Is(err, snapfmt.ErrCorrupt) {
+		t.Errorf("corrupt meta: got %v, want errors.Is ErrCorrupt", err)
+	}
+}
+
+// Damage confined to the index section must degrade, not fail: the graph and
+// model are intact, so the engine comes up with a cold index and stays
+// correct — only the workload-fitted shape is lost.
+func TestLoadEngineCorruptIndexDegrades(t *testing.T) {
+	for _, mode := range []IndexMode{Crack, Bulk} {
+		eng, snap := savedEngine(t, mode)
+		treeStart, treeLen := sectionSpan(t, snap, secTree)
+
+		for name, mutate := range map[string]func([]byte) []byte{
+			"bit flip":  func(b []byte) []byte { b[treeStart+treeLen/2] ^= 0x20; return b },
+			"truncated": func(b []byte) []byte { return b[:treeStart+treeLen/2] },
+			"cut frame": func(b []byte) []byte { return b[:treeStart-4] },
+		} {
+			got, err := LoadEngine(bytes.NewReader(mutate(append([]byte(nil), snap...))))
+			if err != nil {
+				t.Fatalf("mode %v, %s: load failed instead of degrading: %v", mode, name, err)
+			}
+			if !got.IndexRebuilt() {
+				t.Fatalf("mode %v, %s: degraded load not reported", mode, name)
+			}
+			if got.Mode() != mode {
+				t.Fatalf("mode %v, %s: mode became %v", mode, name, got.Mode())
+			}
+			want, err := eng.TopKTailsNoIndex(1, 0, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := got.TopKTails(1, 0, 3)
+			if err != nil {
+				t.Fatalf("mode %v, %s: query on degraded engine: %v", mode, name, err)
+			}
+			if len(res.Predictions) != len(want.Predictions) {
+				t.Fatalf("mode %v, %s: %d predictions, want %d",
+					mode, name, len(res.Predictions), len(want.Predictions))
+			}
+		}
+	}
+}

@@ -35,29 +35,43 @@ type TopKResult struct {
 }
 
 // TopKTails answers "top-k entities t most likely to be in relation r with
-// head h, excluding edges already in E" — query Q1 of the paper.
+// head h, excluding edges already in E" — query Q1 of the paper. Safe for
+// concurrent use; see the Engine concurrency notes.
 func (e *Engine) TopKTails(h kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
+	e.prepareIndex()
+	e.mu.RLock()
 	if err := e.validateEntity(h); err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	if err := e.validateRelation(r); err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	q1 := e.m.TailQueryPoint(h, r)
-	return e.findTopK(q1, k, e.skipTails(h, r)), nil
+	res, q, doCrack := e.findTopK(q1, k, e.skipTails(h, r))
+	e.finishQuery(q, doCrack) // releases the read lock
+	return res, nil
 }
 
 // TopKHeads answers "top-k entities h most likely to be in relation r with
-// tail t" — the symmetric query, searching around t - r.
+// tail t" — the symmetric query, searching around t - r. Safe for
+// concurrent use.
 func (e *Engine) TopKHeads(t kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
+	e.prepareIndex()
+	e.mu.RLock()
 	if err := e.validateEntity(t); err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	if err := e.validateRelation(r); err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	q1 := e.m.HeadQueryPoint(t, r)
-	return e.findTopK(q1, k, e.skipHeads(t, r)), nil
+	res, q, doCrack := e.findTopK(q1, k, e.skipHeads(t, r))
+	e.finishQuery(q, doCrack) // releases the read lock
+	return res, nil
 }
 
 // findTopK implements FindTopKEntities (Algorithm 3):
@@ -69,12 +83,17 @@ func (e *Engine) TopKHeads(t kg.EntityID, r kg.RelationID, k int) (*TopKResult, 
 //     distance, refining the top-k and shrinking r_q as better S1 distances
 //     arrive (the radius is non-increasing, so examining in S2 order lets
 //     us stop at the current radius);
-//  4. crack the index with the final query region.
-func (e *Engine) findTopK(q1 []float64, k int, skip func(kg.EntityID) bool) *TopKResult {
+//  4. hand the final query region back to the caller, which cracks the
+//     index with it (under the write lock) if the region still needs it.
+//
+// findTopK runs entirely under the engine read lock (held by the caller)
+// and never mutates the engine; it returns the final query region and
+// whether the caller should complete the cracking step.
+func (e *Engine) findTopK(q1 []float64, k int, skip func(kg.EntityID) bool) (*TopKResult, rtree.Rect, bool) {
 	res := &TopKResult{}
 	if k <= 0 || e.ps.N() == 0 {
 		res.RecallBound = 1
-		return res
+		return res, rtree.Rect{}, false
 	}
 	q2 := e.tf.Apply(q1)
 
@@ -98,7 +117,7 @@ func (e *Engine) findTopK(q1 []float64, k int, skip func(kg.EntityID) bool) *Top
 	}
 	if top.len() == 0 {
 		res.RecallBound = 1
-		return res
+		return res, rtree.Rect{}, false
 	}
 
 	// Lines 3-8: examine the points of the ball in increasing S2 distance,
@@ -136,9 +155,8 @@ func (e *Engine) findTopK(q1 []float64, k int, skip func(kg.EntityID) bool) *Top
 		return true
 	})
 
-	// Line 9: update the incremental index with the final query region.
+	// Line 9's index update happens in the caller with this final region.
 	finalQ := rtree.BallRect(q2, radius())
-	e.tree.Crack(finalQ)
 
 	res.Predictions = top.sorted()
 	attachProbs(res.Predictions)
@@ -148,7 +166,7 @@ func (e *Engine) findTopK(q1 []float64, k int, skip func(kg.EntityID) bool) *Top
 	}
 	res.RecallBound = jl.TopKRecallLowerBound(rStar, e.params.Eps, e.params.Alpha)
 	res.ExpectedMisses = jl.ExpectedTopKMisses(rStar, e.params.Eps, e.params.Alpha)
-	return res
+	return res, finalQ, true
 }
 
 // attachProbs fills in the paper's probability model over a distance-sorted

@@ -34,8 +34,12 @@ type Fact struct {
 	NewIsHead bool
 }
 
-// AddFact records the fact (h, r, t) on the live engine.
+// AddFact records the fact (h, r, t) on the live engine. It is a writer:
+// it takes the engine write lock and fully serializes against queries and
+// other updates.
 func (e *Engine) AddFact(h kg.EntityID, r kg.RelationID, t kg.EntityID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.validateEntity(h); err != nil {
 		return err
 	}
@@ -53,7 +57,12 @@ func (e *Engine) AddFact(h kg.EntityID, r kg.RelationID, t kg.EntityID) error {
 // its facts (h + r for tail roles, t - r for head roles) — the local least-
 // squares solution of the TransE constraints with all other vectors fixed —
 // and the S2 point is inserted into the index without any rebuilding.
+//
+// InsertEntity is a writer: it takes the engine write lock and fully
+// serializes against queries and other updates.
 func (e *Engine) InsertEntity(name, typ string, facts []Fact, attrs map[string]float64) (kg.EntityID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if len(facts) == 0 {
 		return 0, errors.New("core: InsertEntity needs at least one fact to place the entity")
 	}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"os"
 
+	"vkgraph/internal/atomicfile"
 	"vkgraph/internal/kg"
 )
 
@@ -450,17 +451,10 @@ func Load(r io.Reader) (*Model, error) {
 	return &m, nil
 }
 
-// SaveFile writes the model to path.
+// SaveFile writes the model to path atomically (temp file + rename): a
+// crash mid-save leaves any previous file at path untouched.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := m.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, m.Save)
 }
 
 // LoadFile reads a model from path.

@@ -1,0 +1,205 @@
+// Package faultio provides fault-injecting io.Reader/io.Writer wrappers and
+// an error-injecting filesystem shim for internal/atomicfile. It exists so
+// tests can prove the durability claims of the snapshot subsystem: every
+// torn write, short read, and failed sync must surface as a typed error (or
+// a degraded-but-correct engine), never as a destroyed snapshot or a decoder
+// panic.
+package faultio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+
+	"vkgraph/internal/atomicfile"
+)
+
+// ErrInjected is the default error returned by the failing wrappers.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// FailingWriter writes through to W for the first N bytes and then fails
+// with Err (ErrInjected if nil). The failing write is torn: the bytes that
+// fit under the budget are written before the error returns, exactly like a
+// device that fills up or loses power mid-write.
+type FailingWriter struct {
+	W   io.Writer
+	N   int // byte budget before failure
+	Err error
+
+	written int
+}
+
+func (w *FailingWriter) Write(p []byte) (int, error) {
+	errOut := w.Err
+	if errOut == nil {
+		errOut = ErrInjected
+	}
+	remaining := w.N - w.written
+	if remaining <= 0 {
+		return 0, errOut
+	}
+	if len(p) <= remaining {
+		n, err := w.W.Write(p)
+		w.written += n
+		return n, err
+	}
+	n, err := w.W.Write(p[:remaining])
+	w.written += n
+	if err != nil {
+		return n, err
+	}
+	return n, errOut
+}
+
+// FailingReader reads through from R for the first N bytes and then fails
+// with Err (ErrInjected if nil).
+type FailingReader struct {
+	R   io.Reader
+	N   int
+	Err error
+
+	read int
+}
+
+func (r *FailingReader) Read(p []byte) (int, error) {
+	errOut := r.Err
+	if errOut == nil {
+		errOut = ErrInjected
+	}
+	remaining := r.N - r.read
+	if remaining <= 0 {
+		return 0, errOut
+	}
+	if len(p) > remaining {
+		p = p[:remaining]
+	}
+	n, err := r.R.Read(p)
+	r.read += n
+	return n, err
+}
+
+// ShortReader yields at most n bytes of r and then reports clean EOF — a
+// truncated file, as left by a crash between write and sync.
+func ShortReader(r io.Reader, n int) io.Reader { return io.LimitReader(r, int64(n)) }
+
+// CorruptingReader passes R through, XOR-ing the byte at Offset with Mask
+// (bit rot / a flipped disk byte). A zero Mask flips all eight bits.
+type CorruptingReader struct {
+	R      io.Reader
+	Offset int64
+	Mask   byte
+
+	pos int64
+}
+
+func (c *CorruptingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	if n > 0 && c.Offset >= c.pos && c.Offset < c.pos+int64(n) {
+		mask := c.Mask
+		if mask == 0 {
+			mask = 0xFF
+		}
+		p[c.Offset-c.pos] ^= mask
+	}
+	c.pos += int64(n)
+	return n, err
+}
+
+// FS is an atomicfile.FS that delegates to the real filesystem but can fail
+// any individual step: temp-file creation, writes past a byte budget, sync,
+// close, or the final rename. It also records what it did, so tests can
+// assert that failed saves clean up their temp files.
+type FS struct {
+	CreateErr error // fail CreateTemp outright
+	WriteN    int   // with WriteErr set: bytes accepted before writes fail
+	WriteErr  error // fail temp-file writes after WriteN bytes (torn write)
+	SyncErr   error // fail Sync
+	CloseErr  error // fail Close
+	RenameErr error // fail the final Rename
+
+	mu      sync.Mutex
+	created []string
+	renamed []string
+	removed []string
+}
+
+var _ atomicfile.FS = (*FS)(nil)
+
+// CreateTemp implements atomicfile.FS.
+func (f *FS) CreateTemp(dir, pattern string) (atomicfile.File, error) {
+	if f.CreateErr != nil {
+		return nil, f.CreateErr
+	}
+	file, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.created = append(f.created, file.Name())
+	f.mu.Unlock()
+	ff := &faultFile{File: file, fs: f}
+	if f.WriteErr != nil {
+		ff.w = &FailingWriter{W: file, N: f.WriteN, Err: f.WriteErr}
+	}
+	return ff, nil
+}
+
+// Rename implements atomicfile.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if f.RenameErr != nil {
+		return f.RenameErr
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.renamed = append(f.renamed, newpath)
+	f.mu.Unlock()
+	return nil
+}
+
+// Remove implements atomicfile.FS.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	f.removed = append(f.removed, name)
+	f.mu.Unlock()
+	return os.Remove(name)
+}
+
+// Created returns the temp files created so far.
+func (f *FS) Created() []string { f.mu.Lock(); defer f.mu.Unlock(); return append([]string(nil), f.created...) }
+
+// Renamed returns the destinations successfully renamed into place.
+func (f *FS) Renamed() []string { f.mu.Lock(); defer f.mu.Unlock(); return append([]string(nil), f.renamed...) }
+
+// Removed returns the paths removed (temp-file cleanup).
+func (f *FS) Removed() []string { f.mu.Lock(); defer f.mu.Unlock(); return append([]string(nil), f.removed...) }
+
+type faultFile struct {
+	*os.File
+	fs *FS
+	w  io.Writer // failing writer when write faults are armed
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.w != nil {
+		return f.w.Write(p)
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.SyncErr != nil {
+		return f.fs.SyncErr
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if f.fs.CloseErr != nil {
+		f.File.Close()
+		return f.fs.CloseErr
+	}
+	return f.File.Close()
+}

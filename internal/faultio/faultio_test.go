@@ -1,0 +1,86 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFailingWriterTearsAtBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FailingWriter{W: &buf, N: 5}
+	n, err := w.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("torn write left %q, want the 5-byte prefix", buf.String())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault Write = (%d, %v), want (0, ErrInjected)", n, err)
+	}
+}
+
+func TestFailingWriterCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	w := &FailingWriter{W: io.Discard, N: 0, Err: sentinel}
+	if _, err := w.Write([]byte("a")); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the custom error", err)
+	}
+}
+
+func TestFailingReader(t *testing.T) {
+	r := &FailingReader{R: strings.NewReader("abcdefgh"), N: 3}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadAll error = %v, want ErrInjected", err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("read %q before the fault, want \"abc\"", got)
+	}
+}
+
+func TestShortReader(t *testing.T) {
+	got, err := io.ReadAll(ShortReader(strings.NewReader("abcdefgh"), 4))
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("ShortReader = (%q, %v), want (\"abcd\", nil)", got, err)
+	}
+}
+
+func TestCorruptingReaderFlipsOneByte(t *testing.T) {
+	src := []byte("0123456789")
+	got, err := io.ReadAll(&CorruptingReader{R: bytes.NewReader(src), Offset: 7, Mask: 0x01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), src...)
+	want[7] ^= 0x01
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	// Small reads must hit the offset too.
+	cr := &CorruptingReader{R: iotest1(src), Offset: 7}
+	got, err = io.ReadAll(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[7] == src[7] {
+		t.Fatal("byte at offset 7 not corrupted under 1-byte reads")
+	}
+}
+
+// iotest1 returns a reader that yields one byte at a time.
+func iotest1(b []byte) io.Reader { return &oneByteReader{b: b} }
+
+type oneByteReader struct{ b []byte }
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = r.b[0]
+	r.b = r.b[1:]
+	return 1, nil
+}

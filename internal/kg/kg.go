@@ -16,6 +16,8 @@ import (
 	"math"
 	"os"
 	"sort"
+
+	"vkgraph/internal/atomicfile"
 )
 
 // EntityID identifies an entity; ids are dense, starting at 0.
@@ -389,17 +391,10 @@ func Load(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// SaveFile writes the graph to path.
+// SaveFile writes the graph to path atomically (temp file + rename): a
+// crash mid-save leaves any previous file at path untouched.
 func (g *Graph) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := g.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, g.Save)
 }
 
 // LoadFile reads a graph from path.

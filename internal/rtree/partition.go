@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"sort"
+	"sync"
 )
 
 // partition is a contour element that has data but no child structure yet:
@@ -9,11 +10,15 @@ import (
 // points are degenerate rectangles), its MBR, and lazily computed attribute
 // statistics. Partitions are immutable once created, which lets the
 // Top-kSplitsIndexBuild candidates share split results through a cache.
+// The one exception is the stats cache, which is filled lazily on the
+// read path (ContourOverlap under a shared lock) and therefore guarded by
+// its own mutex.
 type partition struct {
 	orders [][]int32 // S sorted id lists; orders[s] sorted by coordinate s
 	mbr    Rect
 
-	stats []AttrStats // lazily built, parallel to PointSet registration
+	statsMu sync.Mutex
+	stats   []AttrStats // lazily built, parallel to PointSet registration
 }
 
 // newRootPartition sorts the first n points of ps into the S sort orders.
@@ -138,8 +143,11 @@ func (p *partition) computeMBR(ps *PointSet) {
 }
 
 // attrStats returns (building lazily) the statistics of registered
-// attribute ai over the partition's points.
+// attribute ai over the partition's points. Concurrent readers may race to
+// build the cache; the mutex makes the build-or-reuse atomic.
 func (p *partition) attrStats(ps *PointSet, ai int) AttrStats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
 	if p.stats == nil {
 		p.stats = make([]AttrStats, ps.NumAttrs())
 		for i := range p.stats {
@@ -147,6 +155,14 @@ func (p *partition) attrStats(ps *PointSet, ai int) AttrStats {
 		}
 	}
 	return p.stats[ai]
+}
+
+// invalidateStats drops the cached attribute statistics (after a point was
+// added to or removed from the partition).
+func (p *partition) invalidateStats() {
+	p.statsMu.Lock()
+	p.stats = nil
+	p.statsMu.Unlock()
 }
 
 // sizeBytes estimates the in-memory footprint of the partition: S id lists

@@ -1,10 +1,12 @@
 package rtree
 
 import (
+	"bytes"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
+
+	"vkgraph/internal/snapfmt"
 )
 
 // Persistence for a shaped index: the whole point of cracking is that the
@@ -15,6 +17,15 @@ import (
 // The wire format stores structure only — node kinds, leaf ids, pending
 // element id sets, MBRs — not point coordinates; the PointSet is rebuilt
 // from the embedding + JL transform on load (both deterministic by seed).
+// The gob payload is wrapped in a snapfmt container (magic, version, CRC32)
+// so a torn or bit-rotted file is rejected with a typed error before any
+// byte reaches the decoder.
+
+const (
+	treeMagic   = "VKGRTREE"
+	treeVersion = 1
+	secTreeGob  = 1
+)
 
 type wireNode struct {
 	// Kind: 0 internal, 1 leaf, 2 pending.
@@ -34,21 +45,29 @@ type wireTree struct {
 	Root     *wireNode
 }
 
-// Save writes the tree structure in gob format.
+// Save writes the tree structure: a snapfmt header followed by one
+// checksummed gob section.
 func (t *Tree) Save(w io.Writer) error {
 	t.ensureRoot()
 	wt := wireTree{
 		Opt:      t.opt,
 		Splits:   t.splits,
 		Explored: t.explored,
-		Queries:  t.queries,
+		Queries:  int(t.queries.Load()),
 		InitialN: t.initialN,
 		Root:     encodeNode(t.root),
 	}
 	for id := range t.deleted {
 		wt.Deleted = append(wt.Deleted, id)
 	}
-	return gob.NewEncoder(w).Encode(wt)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(wt); err != nil {
+		return fmt.Errorf("rtree: encode tree: %w", err)
+	}
+	if err := snapfmt.WriteHeader(w, treeMagic, treeVersion, 1); err != nil {
+		return err
+	}
+	return snapfmt.WriteSection(w, secTreeGob, payload.Bytes())
 }
 
 func encodeNode(nd *node) *wireNode {
@@ -73,13 +92,27 @@ func encodeNode(nd *node) *wireNode {
 // the same points the tree was built over (same embedding, same transform,
 // same seed). Pending elements rebuild their sort orders locally; this is
 // proportional to the pending mass only, far cheaper than re-cracking.
+//
+// A stream with bad magic, a failed checksum, or a truncation returns an
+// error satisfying errors.Is(err, snapfmt.ErrCorrupt); an incompatible
+// format version returns one satisfying errors.Is(err, snapfmt.ErrVersion).
 func Load(r io.Reader, ps *PointSet) (*Tree, error) {
+	if _, _, err := snapfmt.ReadHeader(r, treeMagic, treeVersion); err != nil {
+		return nil, fmt.Errorf("rtree: %w", err)
+	}
+	kind, payload, err := snapfmt.ReadSection(r)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: %w", err)
+	}
+	if kind != secTreeGob {
+		return nil, fmt.Errorf("rtree: unexpected section %d: %w", kind, snapfmt.ErrCorrupt)
+	}
 	var wt wireTree
-	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
-		return nil, fmt.Errorf("rtree: decode tree: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("rtree: decode tree: %v: %w", err, snapfmt.ErrCorrupt)
 	}
 	if wt.Root == nil {
-		return nil, errors.New("rtree: corrupt tree (no root)")
+		return nil, fmt.Errorf("rtree: tree without root: %w", snapfmt.ErrCorrupt)
 	}
 	t := &Tree{
 		ps:       ps,
@@ -87,16 +120,15 @@ func Load(r io.Reader, ps *PointSet) (*Tree, error) {
 		scratch:  make([]bool, ps.N()),
 		splits:   wt.Splits,
 		explored: wt.Explored,
-		queries:  wt.Queries,
 		initialN: wt.InitialN,
 	}
+	t.queries.Store(int64(wt.Queries))
 	if len(wt.Deleted) > 0 {
 		t.deleted = make(map[int32]bool, len(wt.Deleted))
 		for _, id := range wt.Deleted {
 			t.deleted[id] = true
 		}
 	}
-	var err error
 	t.root, err = t.decodeNode(wt.Root)
 	if err != nil {
 		return nil, err
@@ -106,13 +138,14 @@ func Load(r io.Reader, ps *PointSet) (*Tree, error) {
 
 func (t *Tree) decodeNode(w *wireNode) (*node, error) {
 	if len(w.Lo) != t.ps.Dim || len(w.Hi) != t.ps.Dim {
-		return nil, fmt.Errorf("rtree: MBR dimension %d, point set %d", len(w.Lo), t.ps.Dim)
+		return nil, fmt.Errorf("rtree: MBR dimension %d, point set %d: %w",
+			len(w.Lo), t.ps.Dim, snapfmt.ErrCorrupt)
 	}
 	nd := &node{mbr: Rect{Lo: w.Lo, Hi: w.Hi}}
 	switch w.Kind {
 	case 0:
 		if len(w.Children) == 0 {
-			return nil, errors.New("rtree: internal node without children")
+			return nil, fmt.Errorf("rtree: internal node without children: %w", snapfmt.ErrCorrupt)
 		}
 		for i := range w.Children {
 			c, err := t.decodeNode(&w.Children[i])
@@ -134,12 +167,12 @@ func (t *Tree) decodeNode(w *wireNode) (*node, error) {
 			return nil, err
 		}
 		if len(w.IDs) == 0 {
-			return nil, errors.New("rtree: empty pending element")
+			return nil, fmt.Errorf("rtree: empty pending element: %w", snapfmt.ErrCorrupt)
 		}
 		nd.part = newPartitionFromIDs(t.ps, w.IDs)
 		nd.part.mbr = nd.mbr
 	default:
-		return nil, fmt.Errorf("rtree: unknown node kind %d", w.Kind)
+		return nil, fmt.Errorf("rtree: unknown node kind %d: %w", w.Kind, snapfmt.ErrCorrupt)
 	}
 	return nd, nil
 }
@@ -147,7 +180,8 @@ func (t *Tree) decodeNode(w *wireNode) (*node, error) {
 func (t *Tree) checkIDs(ids []int32) error {
 	for _, id := range ids {
 		if id < 0 || int(id) >= t.ps.N() {
-			return fmt.Errorf("rtree: point id %d outside point set of %d", id, t.ps.N())
+			return fmt.Errorf("rtree: point id %d outside point set of %d: %w",
+				id, t.ps.N(), snapfmt.ErrCorrupt)
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Options configure the index. The zero value is usable: defaults are
@@ -54,16 +55,24 @@ func (o Options) normalize() Options {
 // cracking (NewCracking: a single pending root, shaped online by Crack
 // calls) or bulk-loaded (NewBulkLoaded: the full Algorithm 1 build).
 //
-// Tree is not safe for concurrent use: Crack mutates the structure.
+// Tree is not itself synchronized, but it is built to slot under a
+// reader/writer lock: once Prepare has materialized the root, every
+// traversal (Search, WalkWithin, NearestSeeds, ContourOverlap, Stats, Save,
+// NeedsCrack) is read-only and safe to run concurrently with other readers,
+// while Crack, Insert, and Delete mutate the structure and must be
+// exclusive. NeedsCrack is the read-side probe that tells callers whether a
+// Crack for a query region would actually change anything, so warm query
+// regions never need the exclusive lock. NoteQuery is the lock-free way to
+// count a query whose Crack was skipped.
 type Tree struct {
 	ps      *PointSet
 	opt     Options
 	root    *node
 	scratch []bool // point-id membership flags reused by splits
 
-	splits   int // binary splits applied to the tree
-	explored int // hypothetical splits evaluated by the top-k search
-	queries  int // Crack invocations
+	splits   int          // binary splits applied to the tree
+	explored int          // hypothetical splits evaluated by the top-k search
+	queries  atomic.Int64 // query count (Crack invocations + NoteQuery calls)
 
 	// deleted tracks tombstoned point ids (see Delete): their coordinates
 	// remain in the PointSet but they are no longer referenced by any
@@ -102,6 +111,16 @@ func (t *Tree) ensureRoot() {
 	}
 }
 
+// Ready reports whether the root has been materialized. Until it is, every
+// operation (even a Search) mutates the tree; callers running under a
+// reader/writer lock must Prepare the tree under the write lock first.
+func (t *Tree) Ready() bool { return t.root != nil }
+
+// Prepare materializes the lazy root (a no-op once Ready). It performs the
+// one global sort pass a cracking index ever does — the cost the paper
+// attributes to the first query.
+func (t *Tree) Prepare() { t.ensureRoot() }
+
 // PS returns the underlying point set.
 func (t *Tree) PS() *PointSet { return t.ps }
 
@@ -123,12 +142,57 @@ func (t *Tree) toLeaf(nd *node) {
 // region.
 func (t *Tree) Crack(q Rect) {
 	t.ensureRoot()
-	t.queries++
+	t.queries.Add(1)
 	if t.opt.SplitChoices > 1 {
 		t.crackTopK(q)
 		return
 	}
 	t.crackGreedy(t.root, q)
+}
+
+// NoteQuery counts a query whose Crack was skipped because NeedsCrack
+// reported the region warm. It is safe to call without any lock.
+func (t *Tree) NoteQuery() { t.queries.Add(1) }
+
+// NeedsCrack reports whether Crack(q) would mutate the tree: the root is
+// still lazy, or some pending element overlapping q either fits in a leaf
+// (it would be converted) or fails the stopping condition (it would be
+// split). When it returns false, Crack(q) is a structural no-op — the
+// read-lock fast path can skip the exclusive lock entirely and just
+// NoteQuery. Read-only; safe under a shared lock once the tree is Ready.
+func (t *Tree) NeedsCrack(q Rect) bool {
+	if t.root == nil {
+		return true
+	}
+	return t.needsCrackAt(t.root, q)
+}
+
+func (t *Tree) needsCrackAt(nd *node, q Rect) bool {
+	if !nd.mbr.Overlaps(q) {
+		return false
+	}
+	switch {
+	case nd.isInternal():
+		for _, c := range nd.children {
+			if t.needsCrackAt(c, q) {
+				return true
+			}
+		}
+		return false
+	case nd.isLeaf():
+		return false
+	default:
+		p := nd.part
+		n := p.count()
+		if n <= t.opt.LeafCap {
+			return true // Crack would convert it to a leaf
+		}
+		cq := p.countInRect(t.ps, q)
+		// The stopping condition of Section IV-C step 3, as applied by both
+		// the greedy and the top-k builders: irrelevant or (almost) fully
+		// covered elements stay coarse.
+		return cq != 0 && ceilDiv(cq, t.opt.LeafCap) != ceilDiv(n, t.opt.LeafCap)
+	}
 }
 
 // crackGreedy implements IncrementalIndexBuild: descend to contour elements
@@ -438,7 +502,7 @@ func (t *Tree) Stats() Stats {
 		TotalNodes:     in + lf + pd,
 		BinarySplits:   t.splits,
 		ExploredSplits: t.splits + t.explored,
-		Queries:        t.queries,
+		Queries:        int(t.queries.Load()),
 		SizeBytes:      t.root.sizeBytes(t.ps.Dim),
 		Height:         t.root.height(),
 		Points:         t.ps.N(),

@@ -68,7 +68,7 @@ func (t *Tree) insertAt(nd *node, id int32) {
 		}
 	default:
 		insertSorted(t.ps, nd.part, id)
-		nd.part.stats = nil // invalidate cached attribute stats
+		nd.part.invalidateStats()
 	}
 }
 
@@ -157,7 +157,7 @@ func (t *Tree) Delete(id int32) bool {
 				}
 			}
 			if found {
-				nd.part.stats = nil
+				nd.part.invalidateStats()
 			}
 			return found
 		}

@@ -72,9 +72,11 @@ func (v *VKG) convert(res *core.TopKResult) *TopKResult {
 	for _, p := range res.Predictions {
 		out.Predictions = append(out.Predictions, Prediction{
 			Entity: p.Entity,
-			Name:   v.graph.EntityName(p.Entity),
-			Dist:   p.Dist,
-			Prob:   p.Prob,
+			// Engine.EntityName synchronizes against concurrent
+			// InsertEntity calls; the raw graph accessor does not.
+			Name: v.eng.EntityName(p.Entity),
+			Dist: p.Dist,
+			Prob: p.Prob,
 		})
 	}
 	return out

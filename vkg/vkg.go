@@ -26,6 +26,22 @@
 //	// ... more entities and triples ...
 //	v, err := vkg.Build(g, vkg.WithSeed(42))
 //	preds, err := v.TopKTails(amy, likes, 5) // top-5 restaurants Amy would rate high
+//
+// # Concurrency and durability
+//
+// A built VKG is safe for concurrent use: queries, aggregates, AddFact,
+// InsertEntity, Save, and IndexStats may run from multiple goroutines.
+// Queries take a read lock and upgrade to a write lock only when the
+// cracking index actually needs new splits for their region, so a converged
+// index serves reads without serializing. The exception is embedding
+// training with EmbeddingParams.Workers > 1 (Hogwild SGD, deliberately
+// lock-free and racy); it happens inside Build, before the VKG exists.
+//
+// Save/SaveFile write checksummed, versioned snapshots; SaveFile is atomic
+// (temp file + rename), so a crash mid-save never destroys the previous
+// snapshot. Load returns typed errors for damaged input — see
+// ErrCorruptSnapshot and ErrVersion — and degrades gracefully when only the
+// index section is damaged (see IndexRebuilt).
 package vkg
 
 import (
@@ -190,7 +206,8 @@ func WithAttributes(names ...string) Option {
 	return func(o *options) { o.attrs = append(o.attrs, names...) }
 }
 
-// VKG is a queryable virtual knowledge graph.
+// VKG is a queryable virtual knowledge graph. All methods are safe for
+// concurrent use (see the package documentation for the locking model).
 type VKG struct {
 	graph  *Graph
 	eng    *core.Engine
