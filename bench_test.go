@@ -29,6 +29,7 @@ package vkgraph
 // the paper's series, not just wall-clock times.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -36,6 +37,7 @@ import (
 	"vkgraph/internal/core"
 	"vkgraph/internal/experiments"
 	"vkgraph/internal/kg"
+	"vkgraph/vkg"
 )
 
 // benchScale lets CI force tiny datasets: VKG_BENCH_SCALE=tiny.
@@ -275,6 +277,85 @@ func benchAggSweep(b *testing.B, dataset string, kind core.AggKind, attr string)
 		}
 		b.Run(label, func(b *testing.B) { benchAggregate(b, dataset, kind, attr, a) })
 	}
+}
+
+// benchBatchSetup builds a VKG over the Movie dataset through the public
+// API and a top-k workload in Query form, with the cracking index converged
+// so the serial/batch comparison measures serving, not splitting.
+func benchBatchSetup(b *testing.B, n int) (*vkg.VKG, []vkg.Query) {
+	b.Helper()
+	ds := mustDataset(b, "movie")
+	v, err := vkg.Build(vkg.WrapGraph(ds.G), vkg.WithPretrainedModel(ds.M), vkg.WithSeed(1))
+	if err != nil {
+		b.Fatalf("Build: %v", err)
+	}
+	workload := experiments.Workload(ds.G, n, 99)
+	queries := make([]vkg.Query, len(workload))
+	for i, q := range workload {
+		dir := vkg.Tails
+		if !q.Tail {
+			dir = vkg.Heads
+		}
+		queries[i] = vkg.Query{Kind: vkg.TopK, Dir: dir, Entity: q.E, Relation: q.R, K: 10}
+	}
+	for i, res := range v.DoBatch(context.Background(), queries) {
+		if res.Err != nil {
+			b.Fatalf("warm-up query %d: %v", i, res.Err)
+		}
+	}
+	return v, queries
+}
+
+// BenchmarkBatchServing compares one full pass over a 512-query workload:
+// the serial one-call-at-a-time loop, DoBatch on the worker pool (cache
+// reset each pass, so the win is parallelism + coalescing), and DoBatch
+// with the result cache hot. Queries/s is reported as a metric.
+func BenchmarkBatchServing(b *testing.B) {
+	const n = 512
+	pass := func(b *testing.B, run func(v *vkg.VKG, queries []vkg.Query)) {
+		v, queries := benchBatchSetup(b, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(v, queries)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("serial", func(b *testing.B) {
+		pass(b, func(v *vkg.VKG, queries []vkg.Query) {
+			v.Engine().ResetCache()
+			for _, q := range queries {
+				var err error
+				if q.Dir == vkg.Heads {
+					_, err = v.TopKHeads(q.Entity, q.Relation, q.K)
+				} else {
+					_, err = v.TopKTails(q.Entity, q.Relation, q.K)
+				}
+				if err != nil {
+					b.Fatalf("serial: %v", err)
+				}
+			}
+		})
+	})
+	b.Run("batch", func(b *testing.B) {
+		pass(b, func(v *vkg.VKG, queries []vkg.Query) {
+			v.Engine().ResetCache()
+			for i, res := range v.DoBatch(context.Background(), queries) {
+				if res.Err != nil {
+					b.Fatalf("batch query %d: %v", i, res.Err)
+				}
+			}
+		})
+	})
+	b.Run("cached", func(b *testing.B) {
+		pass(b, func(v *vkg.VKG, queries []vkg.Query) {
+			for i, res := range v.DoBatch(context.Background(), queries) {
+				if res.Err != nil {
+					b.Fatalf("cached query %d: %v", i, res.Err)
+				}
+			}
+		})
+	})
 }
 
 func BenchmarkFig12Count(b *testing.B)         { benchAggSweep(b, "freebase", core.Count, "popularity") }

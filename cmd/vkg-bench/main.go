@@ -7,6 +7,7 @@
 //	vkg-bench -list
 //	vkg-bench -exp fig3                # one experiment at full scale
 //	vkg-bench -exp all -scale tiny     # smoke-run everything
+//	vkg-bench -batch -parallel 8       # serving throughput: serial vs DoBatch
 //
 // Datasets and trained embeddings are cached under $VKG_CACHE (default:
 // <tmp>/vkgraph-cache), so the first run pays TransE training once and
@@ -24,9 +25,14 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale = flag.String("scale", "full", "dataset scale: tiny or full")
-		list  = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale    = flag.String("scale", "full", "dataset scale: tiny or full")
+		list     = flag.Bool("list", false, "list available experiments")
+		batch    = flag.Bool("batch", false, "serving-throughput mode: serial TopK loop vs DoBatch")
+		dataset  = flag.String("dataset", "movie", "dataset for -batch: freebase, movie, or amazon")
+		queries  = flag.Int("n", 2048, "number of queries for -batch")
+		topk     = flag.Int("k", 10, "result size for -batch queries")
+		parallel = flag.Int("parallel", 0, "worker-pool size for -batch (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -36,20 +42,28 @@ func main() {
 		}
 		return
 	}
+
+	if *batch {
+		sc, err := parseScale(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vkg-bench:", err)
+			os.Exit(2)
+		}
+		if err := runBatch(os.Stdout, *dataset, *scale, sc, *queries, *topk, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "vkg-bench: batch: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "vkg-bench: -exp is required (or -list)")
+		fmt.Fprintln(os.Stderr, "vkg-bench: -exp is required (or -list, or -batch)")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	var sc experiments.Scale
-	switch *scale {
-	case "tiny":
-		sc = experiments.Tiny
-	case "full":
-		sc = experiments.Full
-	default:
-		fmt.Fprintf(os.Stderr, "vkg-bench: unknown scale %q (want tiny or full)\n", *scale)
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vkg-bench:", err)
 		os.Exit(2)
 	}
 
@@ -75,4 +89,15 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "tiny":
+		return experiments.Tiny, nil
+	case "full":
+		return experiments.Full, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny or full)", s)
+	}
 }

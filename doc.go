@@ -4,9 +4,12 @@
 // predicted edges and probabilities — indexed by an online-cracked,
 // low-dimensional R-tree over JL-transformed embedding vectors.
 //
-// The public API lives in the vkg subpackage; the substrates (TransE
+// The public API lives in the vkg subpackage — single queries through
+// TopK*/Aggregate*, serving workloads through the batched Do/DoBatch
+// request API with its worker pool and result cache; the substrates (TransE
 // embedding, JL transform, cracking R-tree, baselines) live under internal/;
 // cmd/ holds the dataset, training, query, and benchmark tools; and
 // bench_test.go in this package regenerates every table and figure of the
-// paper's evaluation as Go benchmarks.
+// paper's evaluation as Go benchmarks, plus the serving-throughput
+// comparison (BenchmarkBatchServing, also available as vkg-bench -batch).
 package vkgraph

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -101,33 +100,32 @@ func (r AggResult) ConfidenceRadius(conf float64) float64 {
 // (h, r, ?): Q2 of the paper ("average age of people who would like
 // Restaurant 2" is the symmetric AggregateHeads). Safe for concurrent use.
 func (e *Engine) AggregateTails(h kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
-	e.prepareIndex()
-	e.mu.RLock()
-	if err := e.validateEntity(h); err != nil {
-		e.mu.RUnlock()
-		return nil, err
-	}
-	if err := e.validateRelation(r); err != nil {
-		e.mu.RUnlock()
-		return nil, err
-	}
-	return e.aggregate(e.m.TailQueryPoint(h, r), q, e.skipTails(h, r))
+	return e.aggregateQuery(DirTail, h, r, q, e.params.Eps)
 }
 
 // AggregateHeads answers an aggregate query over the predicted heads of
 // (?, r, t). Safe for concurrent use.
 func (e *Engine) AggregateHeads(t kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
+	return e.aggregateQuery(DirHead, t, r, q, e.params.Eps)
+}
+
+// aggregateQuery is the shared body of the aggregate entry points; the eps
+// parameter lets Do/DoBatch apply a per-request ball-expansion override.
+func (e *Engine) aggregateQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, q AggQuery, eps float64) (*AggResult, error) {
 	e.prepareIndex()
 	e.mu.RLock()
-	if err := e.validateEntity(t); err != nil {
+	if err := e.validateEntity(ent); err != nil {
 		e.mu.RUnlock()
 		return nil, err
 	}
-	if err := e.validateRelation(r); err != nil {
+	if err := e.validateRelation(rel); err != nil {
 		e.mu.RUnlock()
 		return nil, err
 	}
-	return e.aggregate(e.m.HeadQueryPoint(t, r), q, e.skipHeads(t, r))
+	if dir == DirHead {
+		return e.aggregate(e.m.HeadQueryPoint(ent, rel), q, e.skipHeads(ent, rel), eps)
+	}
+	return e.aggregate(e.m.TailQueryPoint(ent, rel), q, e.skipTails(ent, rel), eps)
 }
 
 // ballPoint is one entity of the probability ball, ordered by S2 distance
@@ -150,17 +148,17 @@ type ballPoint struct {
 // The caller holds the engine read lock; aggregate releases it on every
 // path, upgrading to the write lock for the cracking step only when the
 // query region actually needs it (see Engine.finishQuery).
-func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool) (*AggResult, error) {
+func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool, eps float64) (*AggResult, error) {
 	attrIdx := -1
 	if q.Kind != Count {
 		if q.Attr == "" {
 			e.mu.RUnlock()
-			return nil, errors.New("core: aggregate needs an attribute")
+			return nil, fmt.Errorf("core: aggregate needs an attribute: %w", ErrUnknownAttribute)
 		}
 		attrIdx = e.ps.AttrIndex(q.Attr)
 		if attrIdx < 0 {
 			e.mu.RUnlock()
-			return nil, fmt.Errorf("core: attribute %q not registered with the index", q.Attr)
+			return nil, errAttr(q.Attr)
 		}
 	}
 	pTau := q.PTau
@@ -183,7 +181,7 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 		d1 = 1e-12
 	}
 	rTau := d1 / pTau
-	r2 := rTau * (1 + e.params.Eps)
+	r2 := rTau * (1 + eps)
 
 	// Collect the ball in ascending S2 distance (the access order). For
 	// attribute aggregates only entities bearing the attribute are

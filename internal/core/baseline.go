@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -155,11 +156,5 @@ func (e *Engine) aggregateExact(q1 []float64, q AggQuery, skip func(kg.EntityID)
 }
 
 func errAttr(name string) error {
-	return &attrError{name: name}
-}
-
-type attrError struct{ name string }
-
-func (e *attrError) Error() string {
-	return "core: attribute \"" + e.name + "\" not registered with the index"
+	return fmt.Errorf("core: attribute %q not registered with the index: %w", name, ErrUnknownAttribute)
 }

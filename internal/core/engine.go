@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"vkgraph/internal/embedding"
 	"vkgraph/internal/jl"
@@ -94,9 +95,28 @@ type Engine struct {
 	params Params
 	mode   IndexMode
 
+	// gen counts graph mutations (AddFact, InsertEntity). The result cache
+	// pins every entry to the generation it was computed at, so a mutation
+	// invalidates all cached answers at once — any of them could have held
+	// the mutated entity in its ball.
+	gen   atomic.Uint64
+	cache *resultCache
+
+	// inflight coalesces duplicate top-k requests issued through Do/DoBatch:
+	// the first caller of a key computes, the rest wait and share.
+	sfMu     sync.Mutex
+	inflight map[topkKey]*inflightCall
+
 	// degraded records that LoadEngine had to rebuild a cold index because
 	// the snapshot's index section was damaged.
 	degraded bool
+}
+
+// initExec sets up the batch-executor state (result cache, singleflight
+// map); called by both NewEngine and LoadEngine.
+func (e *Engine) initExec() {
+	e.cache = newResultCache(defaultCacheSize)
+	e.inflight = make(map[topkKey]*inflightCall)
 }
 
 // NewEngine builds the query engine: projects every entity embedding into
@@ -135,6 +155,7 @@ func NewEngine(g *kg.Graph, m *embedding.Model, mode IndexMode, p Params) (*Engi
 
 	e := &Engine{g: g, m: m, tf: tf, ps: ps, params: p, mode: mode,
 		layout: newS1Layout(m, coords, p.Alpha)}
+	e.initExec()
 	switch mode {
 	case Crack:
 		e.tree = rtree.NewCracking(ps, p.Index)
@@ -291,14 +312,14 @@ func containsSorted(s []kg.EntityID, x kg.EntityID) bool {
 
 func (e *Engine) validateEntity(id kg.EntityID) error {
 	if id < 0 || int(id) >= e.g.NumEntities() {
-		return fmt.Errorf("core: entity %d out of range [0,%d)", id, e.g.NumEntities())
+		return fmt.Errorf("core: entity %d out of range [0,%d): %w", id, e.g.NumEntities(), ErrUnknownEntity)
 	}
 	return nil
 }
 
 func (e *Engine) validateRelation(id kg.RelationID) error {
 	if id < 0 || int(id) >= e.g.NumRelations() {
-		return fmt.Errorf("core: relation %d out of range [0,%d)", id, e.g.NumRelations())
+		return fmt.Errorf("core: relation %d out of range [0,%d): %w", id, e.g.NumRelations(), ErrUnknownRelation)
 	}
 	return nil
 }

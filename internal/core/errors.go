@@ -1,0 +1,17 @@
+package core
+
+import "errors"
+
+// Typed sentinel errors for query validation. The validation helpers wrap
+// these with fmt.Errorf("...: %w", ...), so callers — including callers on
+// the far side of the vkg package boundary — can classify failures with
+// errors.Is instead of string-matching.
+var (
+	// ErrUnknownEntity reports an entity id outside the graph.
+	ErrUnknownEntity = errors.New("unknown entity")
+	// ErrUnknownRelation reports a relation id outside the graph.
+	ErrUnknownRelation = errors.New("unknown relation")
+	// ErrUnknownAttribute reports an aggregate over an attribute column
+	// that was never registered with the index.
+	ErrUnknownAttribute = errors.New("unknown attribute")
+)

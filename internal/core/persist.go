@@ -158,7 +158,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 			tree = rtree.NewCracking(ps, p.Index)
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		g:        g,
 		m:        m,
 		tf:       tf,
@@ -168,7 +168,9 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		params:   p,
 		mode:     meta.Mode,
 		degraded: degraded,
-	}, nil
+	}
+	e.initExec()
+	return e, nil
 }
 
 func haveCoreSections(sections map[uint8][]byte) bool {

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vkgraph/internal/kg"
+)
+
+// This file is the unified request surface over the engine: every query the
+// five method pairs (TopKTails/TopKHeads, AggregateTails/AggregateHeads and
+// their NoIndex/Exact variants) can express is one Request value, executed
+// by Do or fanned across a worker pool by DoBatch. Serving throughput is
+// the system here — the cracking index is built by the workload (Section IV)
+// — so the executor coalesces duplicate top-k requests in flight and serves
+// repeats of converged regions from the result cache without a tree descent.
+
+// Dir selects which side of the relation a query predicts.
+type Dir int
+
+const (
+	// DirTail predicts t in (e, r, ?).
+	DirTail Dir = iota
+	// DirHead predicts h in (?, r, e).
+	DirHead
+)
+
+// QueryKind selects between the two query families of the paper.
+type QueryKind int
+
+const (
+	// KindTopK is a predictive top-k entity query (Algorithm 3).
+	KindTopK QueryKind = iota
+	// KindAggregate is a sampled aggregate query (Section V-B).
+	KindAggregate
+)
+
+// Request is one predictive query in normal form.
+type Request struct {
+	Kind   QueryKind
+	Dir    Dir
+	Entity kg.EntityID
+	Rel    kg.RelationID
+	// K is the result size of a top-k request.
+	K int
+	// Agg describes an aggregate request (including its per-query PTau and
+	// MaxAccess); ignored for top-k.
+	Agg AggQuery
+	// Eps overrides the engine's query-expansion epsilon when > 0.
+	Eps float64
+	// NoIndex answers by the exact S1 scan (the ground-truth baseline)
+	// instead of the index.
+	NoIndex bool
+}
+
+// Response is the answer to one Request: exactly one of TopK or Agg is set
+// on success, Err on failure (including context cancellation).
+type Response struct {
+	TopK *TopKResult
+	Agg  *AggResult
+	Err  error
+}
+
+// inflightCall is one singleflight execution slot: the first goroutine to
+// request a top-k key becomes the leader and computes it; duplicates block
+// on done (or their own context) and share the leader's answer.
+type inflightCall struct {
+	done chan struct{}
+	res  *TopKResult
+	err  error
+}
+
+// Do answers one request. It checks ctx before executing; a nil ctx is
+// treated as context.Background(). Top-k answers may be served from the
+// result cache and are shared — callers must not mutate them.
+func (e *Engine) Do(ctx context.Context, req Request) Response {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Response{Err: err}
+		}
+	}
+	switch req.Kind {
+	case KindTopK:
+		res, err := e.doTopK(ctx, req)
+		return Response{TopK: res, Err: err}
+	case KindAggregate:
+		res, err := e.doAggregate(req)
+		return Response{Agg: res, Err: err}
+	default:
+		return Response{Err: fmt.Errorf("core: unknown query kind %d", req.Kind)}
+	}
+}
+
+// DoBatch answers a slice of requests on a bounded worker pool and returns
+// the responses in request order. The context is checked before each
+// request, so cancelling mid-batch fails the not-yet-started remainder with
+// ctx.Err() while already-computed answers are kept. Duplicate top-k
+// requests — same (dir, entity, rel, k, eps) — are coalesced: one descent
+// serves all of them.
+func (e *Engine) DoBatch(ctx context.Context, reqs []Request) []Response {
+	return e.DoBatchWorkers(ctx, reqs, 0)
+}
+
+// DoBatchWorkers is DoBatch with an explicit worker count; workers <= 0
+// selects GOMAXPROCS. Cracking writers still serialize on the engine lock,
+// so a mixed batch interleaves read-served queries with the few that split.
+func (e *Engine) DoBatchWorkers(ctx context.Context, reqs []Request, workers int) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers == 1 {
+		for i := range reqs {
+			out[i] = e.Do(ctx, reqs[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i] = e.Do(ctx, reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// doTopK executes a top-k request through the cache and the in-flight
+// coalescing map.
+func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, error) {
+	eps := req.Eps
+	if eps <= 0 {
+		eps = e.params.Eps
+	}
+	if req.NoIndex {
+		// The exact scan is the accuracy ground truth; it bypasses both the
+		// index and the cache so it can never return an index-shaped answer.
+		if req.Dir == DirHead {
+			return e.TopKHeadsNoIndex(req.Entity, req.Rel, req.K)
+		}
+		return e.TopKTailsNoIndex(req.Entity, req.Rel, req.K)
+	}
+
+	key := topkKey{dir: req.Dir, ent: req.Entity, rel: req.Rel, k: req.K, eps: eps}
+	// The generation is read before executing: if a mutation lands while the
+	// query runs, the entry is stored under the old generation and the next
+	// lookup discards it.
+	gen := e.gen.Load()
+	if res, ok := e.cache.get(key, gen); ok {
+		return res, nil
+	}
+
+	e.sfMu.Lock()
+	if c, ok := e.inflight[key]; ok {
+		e.sfMu.Unlock()
+		if ctx == nil {
+			<-c.done
+			return c.res, c.err
+		}
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.sfMu.Unlock()
+
+	c.res, c.err = e.topKQuery(req.Dir, req.Entity, req.Rel, req.K, eps)
+	if c.err == nil {
+		e.cache.put(key, gen, c.res)
+	}
+	e.sfMu.Lock()
+	delete(e.inflight, key)
+	e.sfMu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+func (e *Engine) doAggregate(req Request) (*AggResult, error) {
+	if req.NoIndex {
+		if req.Dir == DirHead {
+			return e.AggregateHeadsExact(req.Entity, req.Rel, req.Agg)
+		}
+		return e.AggregateTailsExact(req.Entity, req.Rel, req.Agg)
+	}
+	eps := req.Eps
+	if eps <= 0 {
+		eps = e.params.Eps
+	}
+	return e.aggregateQuery(req.Dir, req.Entity, req.Rel, req.Agg, eps)
+}

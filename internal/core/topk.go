@@ -38,38 +38,41 @@ type TopKResult struct {
 // head h, excluding edges already in E" — query Q1 of the paper. Safe for
 // concurrent use; see the Engine concurrency notes.
 func (e *Engine) TopKTails(h kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
-	e.prepareIndex()
-	e.mu.RLock()
-	if err := e.validateEntity(h); err != nil {
-		e.mu.RUnlock()
-		return nil, err
-	}
-	if err := e.validateRelation(r); err != nil {
-		e.mu.RUnlock()
-		return nil, err
-	}
-	q1 := e.m.TailQueryPoint(h, r)
-	res, q, doCrack := e.findTopK(q1, k, e.skipTails(h, r))
-	e.finishQuery(q, doCrack) // releases the read lock
-	return res, nil
+	return e.topKQuery(DirTail, h, r, k, e.params.Eps)
 }
 
 // TopKHeads answers "top-k entities h most likely to be in relation r with
 // tail t" — the symmetric query, searching around t - r. Safe for
 // concurrent use.
 func (e *Engine) TopKHeads(t kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
+	return e.topKQuery(DirHead, t, r, k, e.params.Eps)
+}
+
+// topKQuery is the shared body of the top-k entry points: validate under
+// the read lock, run Algorithm 3 with the given query-expansion eps, and
+// complete the cracking step. The eps parameter lets Do/DoBatch apply a
+// per-request override without touching the engine parameters.
+func (e *Engine) topKQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, k int, eps float64) (*TopKResult, error) {
 	e.prepareIndex()
 	e.mu.RLock()
-	if err := e.validateEntity(t); err != nil {
+	if err := e.validateEntity(ent); err != nil {
 		e.mu.RUnlock()
 		return nil, err
 	}
-	if err := e.validateRelation(r); err != nil {
+	if err := e.validateRelation(rel); err != nil {
 		e.mu.RUnlock()
 		return nil, err
 	}
-	q1 := e.m.HeadQueryPoint(t, r)
-	res, q, doCrack := e.findTopK(q1, k, e.skipHeads(t, r))
+	var q1 []float64
+	var skip func(kg.EntityID) bool
+	if dir == DirHead {
+		q1 = e.m.HeadQueryPoint(ent, rel)
+		skip = e.skipHeads(ent, rel)
+	} else {
+		q1 = e.m.TailQueryPoint(ent, rel)
+		skip = e.skipTails(ent, rel)
+	}
+	res, q, doCrack := e.findTopK(q1, k, eps, skip)
 	e.finishQuery(q, doCrack) // releases the read lock
 	return res, nil
 }
@@ -89,7 +92,7 @@ func (e *Engine) TopKHeads(t kg.EntityID, r kg.RelationID, k int) (*TopKResult, 
 // findTopK runs entirely under the engine read lock (held by the caller)
 // and never mutates the engine; it returns the final query region and
 // whether the caller should complete the cracking step.
-func (e *Engine) findTopK(q1 []float64, k int, skip func(kg.EntityID) bool) (*TopKResult, rtree.Rect, bool) {
+func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityID) bool) (*TopKResult, rtree.Rect, bool) {
 	res := &TopKResult{}
 	if k <= 0 || e.ps.N() == 0 {
 		res.RecallBound = 1
@@ -124,7 +127,7 @@ func (e *Engine) findTopK(q1 []float64, k int, skip func(kg.EntityID) bool) (*To
 	// shrinking the ball as the top-k improve. Since the walk is ascending
 	// and the radius is non-increasing, stopping at the first point beyond
 	// the current radius is exact.
-	radius := func() float64 { return top.kth() * (1 + e.params.Eps) }
+	radius := func() float64 { return top.kth() * (1 + eps) }
 	sqRadius := func() float64 { r := radius(); return r * r }
 	l1 := e.m.NormUsed == embedding.L1
 	e.tree.WalkWithin(q2, sqRadius, func(id32 int32, sqd float64) bool {
@@ -164,8 +167,8 @@ func (e *Engine) findTopK(q1 []float64, k int, skip func(kg.EntityID) bool) (*To
 	for i, p := range res.Predictions {
 		rStar[i] = p.Dist
 	}
-	res.RecallBound = jl.TopKRecallLowerBound(rStar, e.params.Eps, e.params.Alpha)
-	res.ExpectedMisses = jl.ExpectedTopKMisses(rStar, e.params.Eps, e.params.Alpha)
+	res.RecallBound = jl.TopKRecallLowerBound(rStar, eps, e.params.Alpha)
+	res.ExpectedMisses = jl.ExpectedTopKMisses(rStar, eps, e.params.Alpha)
 	return res, finalQ, true
 }
 

@@ -49,7 +49,11 @@ func (e *Engine) AddFact(h kg.EntityID, r kg.RelationID, t kg.EntityID) error {
 	if err := e.validateRelation(r); err != nil {
 		return err
 	}
-	return e.g.InsertTripleDynamic(h, r, t)
+	if err := e.g.InsertTripleDynamic(h, r, t); err != nil {
+		return err
+	}
+	e.gen.Add(1) // invalidates cached answers that may predict (h, r, t)
+	return nil
 }
 
 // InsertEntity adds a new entity with at least one initial fact and returns
@@ -127,6 +131,7 @@ func (e *Engine) InsertEntity(name, typ string, facts []Fact, attrs map[string]f
 	}
 	e.tree.Insert(pid)
 	e.layout.appendRow(vec)
+	e.gen.Add(1) // the new entity may belong in any cached answer
 	return id, nil
 }
 

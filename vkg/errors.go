@@ -1,0 +1,23 @@
+package vkg
+
+import "vkgraph/internal/core"
+
+// Typed sentinel errors for query validation. Every error returned by a
+// query or update method that rejects an unknown id or attribute wraps one
+// of these, so callers classify failures with errors.Is instead of
+// string-matching:
+//
+//	if _, err := v.TopKTails(h, r, 5); errors.Is(err, vkg.ErrUnknownEntity) {
+//		// h is not an entity of this graph
+//	}
+//
+// (The snapshot errors ErrCorruptSnapshot and ErrVersion live in persist.go.)
+var (
+	// ErrUnknownEntity reports an entity id outside the graph.
+	ErrUnknownEntity = core.ErrUnknownEntity
+	// ErrUnknownRelation reports a relation id outside the graph.
+	ErrUnknownRelation = core.ErrUnknownRelation
+	// ErrUnknownAttribute reports an aggregate over an attribute that was
+	// not registered via WithAttributes (or an aggregate missing one).
+	ErrUnknownAttribute = core.ErrUnknownAttribute
+)

@@ -1,6 +1,7 @@
 package vkg
 
 import (
+	"context"
 	"fmt"
 
 	"vkgraph/internal/core"
@@ -32,35 +33,25 @@ type TopKResult struct {
 
 // TopKTails returns the k entities most likely to be a tail of (h, r, ?),
 // excluding facts already in the graph — e.g. "top-5 restaurants Amy would
-// rate high but has not been to yet".
+// rate high but has not been to yet". It is a thin wrapper over Do; for
+// many queries at once, use DoBatch.
 func (v *VKG) TopKTails(h EntityID, r RelationID, k int) (*TopKResult, error) {
-	var res *core.TopKResult
-	var err error
-	if v.noIdx {
-		res, err = v.eng.TopKTailsNoIndex(h, r, k)
-	} else {
-		res, err = v.eng.TopKTails(h, r, k)
-	}
+	res, err := v.Do(context.Background(), Query{Kind: TopK, Dir: Tails, Entity: h, Relation: r, K: k})
 	if err != nil {
 		return nil, err
 	}
-	return v.convert(res), nil
+	return res.TopK, nil
 }
 
 // TopKHeads returns the k entities most likely to be a head of (?, r, t) —
-// e.g. "top-5 people who would like Restaurant 2".
+// e.g. "top-5 people who would like Restaurant 2". It is a thin wrapper
+// over Do; for many queries at once, use DoBatch.
 func (v *VKG) TopKHeads(t EntityID, r RelationID, k int) (*TopKResult, error) {
-	var res *core.TopKResult
-	var err error
-	if v.noIdx {
-		res, err = v.eng.TopKHeadsNoIndex(t, r, k)
-	} else {
-		res, err = v.eng.TopKHeads(t, r, k)
-	}
+	res, err := v.Do(context.Background(), Query{Kind: TopK, Dir: Heads, Entity: t, Relation: r, K: k})
 	if err != nil {
 		return nil, err
 	}
-	return v.convert(res), nil
+	return res.TopK, nil
 }
 
 func (v *VKG) convert(res *core.TopKResult) *TopKResult {
@@ -96,8 +87,9 @@ const (
 // AggSpec describes an aggregate query over predicted edges.
 type AggSpec struct {
 	Kind AggKind
-	// Attr is the aggregated attribute (registered via WithAttributes);
-	// ignored for Count.
+	// Attr is the aggregated attribute (registered via WithAttributes).
+	// Count counts predicted edges rather than aggregating values, so
+	// setting Attr on a Count is rejected.
 	Attr string
 	// MaxAccess is the sample size a: the number of closest ball entities
 	// whose attributes are materialized. 0 accesses the whole ball. This
@@ -128,14 +120,26 @@ func (r *AggResult) ConfidenceRadius(conf float64) float64 {
 	return r.inner.ConfidenceRadius(conf)
 }
 
+// convertAgg validates an AggSpec at the API edge — so misuse fails loudly
+// here rather than behaving oddly deep in the sampling estimators — and
+// lowers it to the engine query type.
 func convertAgg(spec AggSpec) (core.AggQuery, error) {
 	q := core.AggQuery{
 		Attr:      spec.Attr,
 		MaxAccess: spec.MaxAccess,
 		PTau:      spec.ProbThreshold,
 	}
+	if spec.MaxAccess < 0 {
+		return q, fmt.Errorf("vkg: negative MaxAccess %d", spec.MaxAccess)
+	}
+	if spec.ProbThreshold < 0 || spec.ProbThreshold > 1 {
+		return q, fmt.Errorf("vkg: probability threshold %v outside (0, 1]", spec.ProbThreshold)
+	}
 	switch spec.Kind {
 	case Count:
+		if spec.Attr != "" {
+			return q, fmt.Errorf("vkg: Attr %q set on a Count aggregate (Count counts predicted edges, not attribute values)", spec.Attr)
+		}
 		q.Kind = core.Count
 	case Sum:
 		q.Kind = core.Sum
@@ -151,43 +155,32 @@ func convertAgg(spec AggSpec) (core.AggQuery, error) {
 	return q, nil
 }
 
+// wrapAgg lifts an engine aggregate result into the public type.
+func wrapAgg(res *core.AggResult) *AggResult {
+	return &AggResult{Value: res.Value, Accessed: res.Accessed, BallSize: res.BallSize, inner: *res}
+}
+
 // AggregateTails estimates an aggregate over the predicted tails of
-// (h, r, ?) — e.g. "the expected number of restaurants Amy may like".
+// (h, r, ?) — e.g. "the expected number of restaurants Amy may like". It is
+// a thin wrapper over Do; for many queries at once, use DoBatch.
 func (v *VKG) AggregateTails(h EntityID, r RelationID, spec AggSpec) (*AggResult, error) {
-	q, err := convertAgg(spec)
+	res, err := v.Do(context.Background(), Query{Kind: Aggregate, Dir: Tails, Entity: h, Relation: r, Agg: spec})
 	if err != nil {
 		return nil, err
 	}
-	var res *core.AggResult
-	if v.noIdx {
-		res, err = v.eng.AggregateTailsExact(h, r, q)
-	} else {
-		res, err = v.eng.AggregateTails(h, r, q)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &AggResult{Value: res.Value, Accessed: res.Accessed, BallSize: res.BallSize, inner: *res}, nil
+	return res.Agg, nil
 }
 
 // AggregateHeads estimates an aggregate over the predicted heads of
 // (?, r, t) — e.g. "the average age of the people who would like
-// Restaurant 2" (Q2 of the paper).
+// Restaurant 2" (Q2 of the paper). It is a thin wrapper over Do; for many
+// queries at once, use DoBatch.
 func (v *VKG) AggregateHeads(t EntityID, r RelationID, spec AggSpec) (*AggResult, error) {
-	q, err := convertAgg(spec)
+	res, err := v.Do(context.Background(), Query{Kind: Aggregate, Dir: Heads, Entity: t, Relation: r, Agg: spec})
 	if err != nil {
 		return nil, err
 	}
-	var res *core.AggResult
-	if v.noIdx {
-		res, err = v.eng.AggregateHeadsExact(t, r, q)
-	} else {
-		res, err = v.eng.AggregateHeads(t, r, q)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &AggResult{Value: res.Value, Accessed: res.Accessed, BallSize: res.BallSize, inner: *res}, nil
+	return res.Agg, nil
 }
 
 // IndexStats summarizes the index structure: node counts, binary splits

@@ -1,0 +1,188 @@
+package vkg
+
+import (
+	"context"
+	"fmt"
+
+	"vkgraph/internal/core"
+)
+
+// This file is the unified request API: every query the method pairs
+// (TopKTails/TopKHeads, AggregateTails/AggregateHeads) can express is one
+// Query value, answered by Do or, for serving workloads, fanned across a
+// worker pool by DoBatch. The legacy methods remain as thin wrappers over
+// Do, so both surfaces share validation, the result cache, and the
+// in-flight coalescing of duplicate requests.
+
+// Direction selects which side of the relation a query predicts.
+type Direction int
+
+const (
+	// Tails predicts t in (Entity, Relation, ?) — "what would Amy like?".
+	Tails Direction = iota
+	// Heads predicts h in (?, Relation, Entity) — "who would like this?".
+	Heads
+)
+
+// QueryKind selects between the paper's two query families.
+type QueryKind int
+
+const (
+	// TopK is a predictive top-k entity query (Algorithm 3).
+	TopK QueryKind = iota
+	// Aggregate is a sampled aggregate query (Section V-B).
+	Aggregate
+)
+
+// Query is a first-class predictive query. Zero values give a tail top-k
+// query, so the common case reads naturally:
+//
+//	v.Do(ctx, vkg.Query{Entity: amy, Relation: likes, K: 5})
+type Query struct {
+	Kind     QueryKind
+	Dir      Direction
+	Entity   EntityID
+	Relation RelationID
+	// K is the result size of a TopK query.
+	K int
+	// Agg describes an Aggregate query; ignored for TopK.
+	Agg AggSpec
+	// Epsilon overrides the build-time WithEpsilon for this query when > 0:
+	// a larger value buys a better Theorem 2 recall bound at higher cost.
+	Epsilon float64
+	// ProbThreshold overrides p_tau for this Aggregate query when > 0. It
+	// takes precedence over Agg.ProbThreshold.
+	ProbThreshold float64
+}
+
+// Result is the answer to one Query: TopK is set for top-k queries, Agg for
+// aggregates. Err is only used by DoBatch, which reports per-query failures
+// in place instead of failing the batch.
+type Result struct {
+	TopK *TopKResult
+	Agg  *AggResult
+	Err  error
+}
+
+// Do answers one query, honoring ctx cancellation. Repeat top-k queries on
+// an unchanged graph are served from an LRU result cache (invalidated by
+// AddFact and InsertEntity), and identical queries issued concurrently are
+// coalesced into one index descent.
+func (v *VKG) Do(ctx context.Context, q Query) (*Result, error) {
+	req, err := v.toRequest(q)
+	if err != nil {
+		return nil, err
+	}
+	return v.convertResponse(v.eng.Do(ctx, req))
+}
+
+// DoBatch answers a batch of queries on a bounded worker pool (one worker
+// per CPU) and returns results in query order. Failures — validation
+// errors, unknown ids, ctx cancellation — land in the matching Result.Err;
+// the rest of the batch is unaffected. Cancelling ctx mid-batch fails the
+// not-yet-started queries with ctx.Err() and keeps completed answers.
+func (v *VKG) DoBatch(ctx context.Context, qs []Query) []Result {
+	return v.DoBatchWorkers(ctx, qs, 0)
+}
+
+// DoBatchWorkers is DoBatch with an explicit worker-pool size; workers <= 0
+// selects GOMAXPROCS. Queries whose index region is already cracked run
+// concurrently under the read lock; the few that still split serialize on
+// the engine write lock.
+func (v *VKG) DoBatchWorkers(ctx context.Context, qs []Query, workers int) []Result {
+	out := make([]Result, len(qs))
+	idxs := make([]int, 0, len(qs))
+	reqs := make([]core.Request, 0, len(qs))
+	for i, q := range qs {
+		req, err := v.toRequest(q)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		idxs = append(idxs, i)
+		reqs = append(reqs, req)
+	}
+	for j, resp := range v.eng.DoBatchWorkers(ctx, reqs, workers) {
+		res, err := v.convertResponse(resp)
+		if err != nil {
+			out[idxs[j]].Err = err
+			continue
+		}
+		out[idxs[j]] = *res
+	}
+	return out
+}
+
+// toRequest validates a Query at the API edge and lowers it to the engine
+// request type.
+func (v *VKG) toRequest(q Query) (core.Request, error) {
+	req := core.Request{
+		Entity:  q.Entity,
+		Rel:     q.Relation,
+		Eps:     q.Epsilon,
+		NoIndex: v.noIdx,
+	}
+	if q.Epsilon < 0 {
+		return req, fmt.Errorf("vkg: negative epsilon %v", q.Epsilon)
+	}
+	if q.ProbThreshold < 0 || q.ProbThreshold > 1 {
+		return req, fmt.Errorf("vkg: probability threshold %v outside (0, 1]", q.ProbThreshold)
+	}
+	switch q.Dir {
+	case Tails:
+		req.Dir = core.DirTail
+	case Heads:
+		req.Dir = core.DirHead
+	default:
+		return req, fmt.Errorf("vkg: unknown query direction %d", q.Dir)
+	}
+	switch q.Kind {
+	case TopK:
+		req.Kind = core.KindTopK
+		req.K = q.K
+	case Aggregate:
+		req.Kind = core.KindAggregate
+		spec := q.Agg
+		if q.ProbThreshold > 0 {
+			spec.ProbThreshold = q.ProbThreshold
+		}
+		aq, err := convertAgg(spec)
+		if err != nil {
+			return req, err
+		}
+		req.Agg = aq
+	default:
+		return req, fmt.Errorf("vkg: unknown query kind %d", q.Kind)
+	}
+	return req, nil
+}
+
+// convertResponse lifts an engine response into the public result types,
+// resolving prediction names.
+func (v *VKG) convertResponse(resp core.Response) (*Result, error) {
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	res := &Result{}
+	if resp.TopK != nil {
+		res.TopK = v.convert(resp.TopK)
+	}
+	if resp.Agg != nil {
+		res.Agg = wrapAgg(resp.Agg)
+	}
+	return res, nil
+}
+
+// CacheStats reports the top-k result cache counters: hits, misses, and
+// resident entries.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// CacheStats returns the current result-cache counters.
+func (v *VKG) CacheStats() CacheStats {
+	s := v.eng.CacheStats()
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries}
+}

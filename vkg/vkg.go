@@ -27,6 +27,29 @@
 //	v, err := vkg.Build(g, vkg.WithSeed(42))
 //	preds, err := v.TopKTails(amy, likes, 5) // top-5 restaurants Amy would rate high
 //
+// # Batched queries
+//
+// Serving workloads issue many queries at once; Query and DoBatch are the
+// request API for that. A Query names the direction (Tails/Heads), the kind
+// (TopK/Aggregate), the entity and relation, and optional per-query
+// Epsilon/ProbThreshold overrides; DoBatch fans a slice of them across a
+// bounded worker pool, coalesces duplicate top-k requests into one index
+// descent, serves repeats of an unchanged graph from an LRU result cache,
+// and honors context cancellation:
+//
+//	queries := []vkg.Query{
+//		{Entity: amy, Relation: likes, K: 5},
+//		{Kind: vkg.Aggregate, Dir: vkg.Heads, Entity: r1, Relation: likes,
+//			Agg: vkg.AggSpec{Kind: vkg.Avg, Attr: "age", MaxAccess: 50}},
+//	}
+//	for i, res := range v.DoBatch(ctx, queries) {
+//		if res.Err != nil { ... } // per-query failures don't fail the batch
+//	}
+//
+// TopKTails, TopKHeads, AggregateTails, and AggregateHeads are thin
+// wrappers over the same path, so single-query callers share the cache and
+// the validation.
+//
 // # Concurrency and durability
 //
 // A built VKG is safe for concurrent use: queries, aggregates, AddFact,
@@ -107,6 +130,10 @@ func (gr *Graph) HasEdge(h EntityID, r RelationID, t EntityID) bool { return gr.
 
 // Internal returns the underlying store, for use by this module's
 // command-line tools and experiments.
+//
+// Deprecated: the returned store is unsynchronized and its API is not
+// stable. External callers should stay on the Graph methods; Internal
+// remains only for the cmd/ tools of this module.
 func (gr *Graph) Internal() *kg.Graph { return gr.g }
 
 // WrapGraph adopts an already-built internal graph (used by the CLI tools
@@ -304,15 +331,13 @@ func (v *VKG) Graph() *Graph { return v.graph }
 
 // Engine exposes the internal engine for the module's own tools and
 // benchmarks.
+//
+// Deprecated: the engine API is internal and not stable. External callers
+// should use the VKG methods — Do/DoBatch cover everything the engine's
+// query surface does; Engine remains only for the cmd/ tools of this
+// module.
 func (v *VKG) Engine() *core.Engine { return v.eng }
 
 // TrainingLosses returns the per-epoch embedding losses (empty when a
 // pretrained model was supplied).
 func (v *VKG) TrainingLosses() []float64 { return v.trainL }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
