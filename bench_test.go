@@ -323,7 +323,7 @@ func BenchmarkBatchServing(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) {
 		pass(b, func(v *vkg.VKG, queries []vkg.Query) {
-			v.Engine().ResetCache()
+			v.ResetCache()
 			for _, q := range queries {
 				var err error
 				if q.Dir == vkg.Heads {
@@ -339,7 +339,7 @@ func BenchmarkBatchServing(b *testing.B) {
 	})
 	b.Run("batch", func(b *testing.B) {
 		pass(b, func(v *vkg.VKG, queries []vkg.Query) {
-			v.Engine().ResetCache()
+			v.ResetCache()
 			for i, res := range v.DoBatch(context.Background(), queries) {
 				if res.Err != nil {
 					b.Fatalf("batch query %d: %v", i, res.Err)

@@ -23,7 +23,7 @@ import (
 // The result cache is reset between the first two phases, so serial and
 // batch both pay every index descent and the comparison is parallelism, not
 // caching.
-func runBatch(w io.Writer, dataset, scaleName string, sc experiments.Scale, n, k, parallel int) error {
+func runBatch(w io.Writer, dataset, scaleName string, sc experiments.Scale, n, k, parallel int, metricsAddr string) error {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -34,6 +34,14 @@ func runBatch(w io.Writer, dataset, scaleName string, sc experiments.Scale, n, k
 	v, err := vkg.Build(vkg.WrapGraph(ds.G), vkg.WithPretrainedModel(ds.M), vkg.WithSeed(1))
 	if err != nil {
 		return err
+	}
+	if metricsAddr != "" {
+		ops, err := v.ServeOps(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer ops.Close()
+		fmt.Fprintf(w, "ops listening on http://%s\n", ops.Addr())
 	}
 
 	workload := experiments.Workload(ds.G, n, 99)
@@ -55,8 +63,7 @@ func runBatch(w io.Writer, dataset, scaleName string, sc experiments.Scale, n, k
 		}
 	}
 
-	eng := v.Engine()
-	eng.ResetCache()
+	v.ResetCache()
 	start := time.Now()
 	for _, q := range queries {
 		var err error
@@ -71,7 +78,7 @@ func runBatch(w io.Writer, dataset, scaleName string, sc experiments.Scale, n, k
 	}
 	serial := time.Since(start)
 
-	eng.ResetCache()
+	v.ResetCache()
 	start = time.Now()
 	for i, res := range v.DoBatchWorkers(ctx, queries, parallel) {
 		if res.Err != nil {
@@ -96,5 +103,8 @@ func runBatch(w io.Writer, dataset, scaleName string, sc experiments.Scale, n, k
 		qps(batch), batch.Round(time.Microsecond), serial.Seconds()/batch.Seconds())
 	fmt.Fprintf(w, "cached:  %10.0f queries/s  (%v total, cache %d hits / %d misses)\n",
 		qps(cached), cached.Round(time.Microsecond), cs.Hits, cs.Misses)
+	m := v.Metrics()
+	fmt.Fprintf(w, "metrics: cache hit rate %.1f%%, %d splits, topk p95 %v, %d coalesced\n",
+		100*m.CacheHitRate(), m.CrackSplits, m.TopKLatency.P95.Round(time.Microsecond), m.Coalesced)
 	return nil
 }

@@ -7,6 +7,11 @@
 //	vkg-query -graph movie.graph -model movie.model -entity movie3 -rel likes -heads -k 5
 //	vkg-query -graph movie.graph -model movie.model -entity user17 -rel likes -agg avg -attr year
 //
+// Add -trace to print the per-stage timing breakdown of the answer, -bench n
+// to repeat the query n times and print a one-line metrics summary, and
+// -metrics-addr to serve the ops endpoints (Prometheus /metrics, pprof,
+// /slowlog) while the process runs.
+//
 // REPL (reads "tails|heads|agg <entity> <relation> [k|kind attr]" lines):
 //
 //	vkg-query -graph movie.graph -model movie.model -repl
@@ -22,6 +27,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,35 +35,38 @@ import (
 	"strings"
 	"time"
 
-	"vkgraph/internal/core"
 	"vkgraph/internal/embedding"
 	"vkgraph/internal/kg"
+	"vkgraph/vkg"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "graph file (required unless -snapshot)")
-		modelPath = flag.String("model", "", "model file (required unless -snapshot)")
-		snapshot  = flag.String("snapshot", "", "engine snapshot file (replaces -graph/-model)")
-		entity    = flag.String("entity", "", "query entity name")
-		rel       = flag.String("rel", "", "relationship name")
-		k         = flag.Int("k", 5, "top-k")
-		heads     = flag.Bool("heads", false, "query heads (?, r, t) instead of tails (h, r, ?)")
-		agg       = flag.String("agg", "", "aggregate kind: count, sum, avg, max, min")
-		attr      = flag.String("attr", "", "attribute for sum/avg/max/min")
-		repl      = flag.Bool("repl", false, "interactive mode")
-		alpha     = flag.Int("alpha", 3, "index dimensionality")
+		graphPath   = flag.String("graph", "", "graph file (required unless -snapshot)")
+		modelPath   = flag.String("model", "", "model file (required unless -snapshot)")
+		snapshot    = flag.String("snapshot", "", "engine snapshot file (replaces -graph/-model)")
+		entity      = flag.String("entity", "", "query entity name")
+		rel         = flag.String("rel", "", "relationship name")
+		k           = flag.Int("k", 5, "top-k")
+		heads       = flag.Bool("heads", false, "query heads (?, r, t) instead of tails (h, r, ?)")
+		agg         = flag.String("agg", "", "aggregate kind: count, sum, avg, max, min")
+		attr        = flag.String("attr", "", "attribute for sum/avg/max/min")
+		repl        = flag.Bool("repl", false, "interactive mode")
+		alpha       = flag.Int("alpha", 3, "index dimensionality")
+		trace       = flag.Bool("trace", false, "print the per-stage timing breakdown of each answer")
+		bench       = flag.Int("bench", 0, "repeat the one-shot query this many times and print a metrics summary")
+		metricsAddr = flag.String("metrics-addr", "", "serve ops HTTP (Prometheus /metrics, pprof, /slowlog) on this address")
 	)
 	flag.Parse()
 
-	var eng *core.Engine
+	var v *vkg.VKG
 	if *snapshot != "" {
 		var err error
-		eng, err = core.LoadEngineFile(*snapshot)
+		v, err = vkg.LoadFile(*snapshot)
 		if err != nil {
 			fatal("loading snapshot: %v", err)
 		}
-		if eng.IndexRebuilt() {
+		if v.IndexRebuilt() {
 			fmt.Fprintln(os.Stderr,
 				"vkg-query: warning: snapshot index section was damaged; "+
 					"graph and model loaded intact, index rebuilt cold and will re-warm with queries")
@@ -76,18 +85,27 @@ func main() {
 		if err != nil {
 			fatal("loading model: %v", err)
 		}
-		p := core.DefaultParams()
-		p.Alpha = *alpha
-		p.Attrs = g.AttrNames()
-		eng, err = core.NewEngine(g, m, core.Crack, p)
+		gr := vkg.WrapGraph(g)
+		v, err = vkg.Build(gr,
+			vkg.WithPretrainedModel(m),
+			vkg.WithAlpha(*alpha),
+			vkg.WithAttributes(gr.AttrNames()...))
 		if err != nil {
 			fatal("building engine: %v", err)
 		}
 	}
-	g := eng.Graph()
+
+	if *metricsAddr != "" {
+		ops, err := v.ServeOps(*metricsAddr)
+		if err != nil {
+			fatal("serving ops: %v", err)
+		}
+		defer ops.Close()
+		fmt.Fprintf(os.Stderr, "vkg-query: ops listening on http://%s\n", ops.Addr())
+	}
 
 	if *repl {
-		runREPL(eng, g)
+		runREPL(v, *trace)
 		return
 	}
 	if *entity == "" || *rel == "" {
@@ -98,17 +116,20 @@ func main() {
 		side = "heads"
 	}
 	if *agg != "" {
-		if err := runAgg(eng, g, side, *entity, *rel, *agg, *attr); err != nil {
+		if err := runAgg(v, side, *entity, *rel, *agg, *attr, *trace); err != nil {
 			fatal("%v", err)
 		}
-		return
-	}
-	if err := runTopK(eng, g, side, *entity, *rel, *k); err != nil {
+	} else if err := runTopK(v, side, *entity, *rel, *k, *trace); err != nil {
 		fatal("%v", err)
+	}
+	if *bench > 0 {
+		if err := runBench(v, side, *entity, *rel, *agg, *attr, *k, *bench); err != nil {
+			fatal("%v", err)
+		}
 	}
 }
 
-func resolve(g *kg.Graph, entity, rel string) (kg.EntityID, kg.RelationID, error) {
+func resolve(g *vkg.Graph, entity, rel string) (vkg.EntityID, vkg.RelationID, error) {
 	e, ok := g.EntityByName(entity)
 	if !ok {
 		return 0, 0, fmt.Errorf("unknown entity %q", entity)
@@ -120,73 +141,138 @@ func resolve(g *kg.Graph, entity, rel string) (kg.EntityID, kg.RelationID, error
 	return e, r, nil
 }
 
-func runTopK(eng *core.Engine, g *kg.Graph, side, entity, rel string, k int) error {
-	e, r, err := resolve(g, entity, rel)
+func printTrace(tr *vkg.QueryTrace) {
+	if tr == nil {
+		return
+	}
+	fmt.Printf("trace: %s\n", tr)
+}
+
+func runTopK(v *vkg.VKG, side, entity, rel string, k int, trace bool) error {
+	e, r, err := resolve(v.Graph(), entity, rel)
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	var res *core.TopKResult
+	dir := vkg.Tails
 	if side == "heads" {
-		res, err = eng.TopKHeads(e, r, k)
-	} else {
-		res, err = eng.TopKTails(e, r, k)
+		dir = vkg.Heads
 	}
+	start := time.Now()
+	res, err := v.Do(context.Background(),
+		vkg.Query{Kind: vkg.TopK, Dir: dir, Entity: e, Relation: r, K: k, Trace: trace})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("top-%d %s for (%s, %s) in %v (examined %d, recall bound %.4f):\n",
-		k, side, entity, rel, elapsed, res.Examined, res.RecallBound)
-	for i, p := range res.Predictions {
-		fmt.Printf("%3d. %-24s prob=%.4f dist=%.4f\n",
-			i+1, g.Entity(p.Entity).Name, p.Prob, p.Dist)
+		k, side, entity, rel, elapsed, res.TopK.Examined, res.TopK.RecallBound)
+	for i, p := range res.TopK.Predictions {
+		fmt.Printf("%3d. %-24s prob=%.4f dist=%.4f\n", i+1, p.Name, p.Prob, p.Dist)
+	}
+	if trace {
+		printTrace(res.Trace)
 	}
 	return nil
 }
 
-func runAgg(eng *core.Engine, g *kg.Graph, side, entity, rel, kind, attr string) error {
-	e, r, err := resolve(g, entity, rel)
-	if err != nil {
-		return err
-	}
-	q := core.AggQuery{Attr: attr}
+func parseAggKind(kind string) (vkg.AggKind, error) {
 	switch strings.ToLower(kind) {
 	case "count":
-		q.Kind = core.Count
+		return vkg.Count, nil
 	case "sum":
-		q.Kind = core.Sum
+		return vkg.Sum, nil
 	case "avg":
-		q.Kind = core.Avg
+		return vkg.Avg, nil
 	case "max":
-		q.Kind = core.Max
+		return vkg.Max, nil
 	case "min":
-		q.Kind = core.Min
+		return vkg.Min, nil
 	default:
-		return fmt.Errorf("unknown aggregate %q", kind)
+		return 0, fmt.Errorf("unknown aggregate %q", kind)
 	}
-	start := time.Now()
-	var res *core.AggResult
-	if side == "heads" {
-		res, err = eng.AggregateHeads(e, r, q)
-	} else {
-		res, err = eng.AggregateTails(e, r, q)
-	}
+}
+
+func runAgg(v *vkg.VKG, side, entity, rel, kind, attr string, trace bool) error {
+	e, r, err := resolve(v.Graph(), entity, rel)
 	if err != nil {
 		return err
 	}
+	ak, err := parseAggKind(kind)
+	if err != nil {
+		return err
+	}
+	dir := vkg.Tails
+	if side == "heads" {
+		dir = vkg.Heads
+	}
+	start := time.Now()
+	res, err := v.Do(context.Background(), vkg.Query{
+		Kind: vkg.Aggregate, Dir: dir, Entity: e, Relation: r,
+		Agg: vkg.AggSpec{Kind: ak, Attr: attr}, Trace: trace,
+	})
+	if err != nil {
+		return err
+	}
+	a := res.Agg
 	fmt.Printf("%s(%s) over predicted %s of (%s, %s) = %.4f  [a=%d of b=%d, 95%% radius ±%.1f%%] in %v\n",
-		strings.ToUpper(kind), attr, side, entity, rel, res.Value,
-		res.Accessed, res.BallSize, 100*res.ConfidenceRadius(0.95), time.Since(start))
+		strings.ToUpper(kind), attr, side, entity, rel, a.Value,
+		a.Accessed, a.BallSize, 100*a.ConfidenceRadius(0.95), time.Since(start))
+	if trace {
+		printTrace(res.Trace)
+	}
 	return nil
 }
 
-func runREPL(eng *core.Engine, g *kg.Graph) {
+// runBench repeats the one-shot query n times through the request API (so
+// repeats hit the result cache like a serving workload would) and prints a
+// one-line summary of the engine metrics.
+func runBench(v *vkg.VKG, side, entity, rel, agg, attr string, k, n int) error {
+	e, r, err := resolve(v.Graph(), entity, rel)
+	if err != nil {
+		return err
+	}
+	q := vkg.Query{Entity: e, Relation: r, K: k}
+	if side == "heads" {
+		q.Dir = vkg.Heads
+	}
+	if agg != "" {
+		ak, err := parseAggKind(agg)
+		if err != nil {
+			return err
+		}
+		q.Kind = vkg.Aggregate
+		q.Agg = vkg.AggSpec{Kind: ak, Attr: attr}
+	}
+	qs := make([]vkg.Query, n)
+	for i := range qs {
+		qs[i] = q
+	}
+	start := time.Now()
+	for i, res := range v.DoBatch(context.Background(), qs) {
+		if res.Err != nil {
+			return fmt.Errorf("bench query %d: %w", i, res.Err)
+		}
+	}
+	elapsed := time.Since(start)
+	m := v.Metrics()
+	lat := m.TopKLatency
+	if q.Kind == vkg.Aggregate {
+		lat = m.AggregateLatency
+	}
+	fmt.Printf("bench: %d queries in %v (%.0f queries/s)\n", n, elapsed.Round(time.Microsecond),
+		float64(n)/elapsed.Seconds())
+	fmt.Printf("metrics: cache hit rate %.1f%%, %d splits, p95 %v, node accesses %d\n",
+		100*m.CacheHitRate(), m.CrackSplits, lat.P95.Round(time.Microsecond),
+		m.NodeAccessInternal+m.NodeAccessLeaf+m.NodeAccessPending)
+	return nil
+}
+
+func runREPL(v *vkg.VKG, trace bool) {
 	fmt.Println("commands:")
 	fmt.Println("  tails <entity> <relation> [k]")
 	fmt.Println("  heads <entity> <relation> [k]")
 	fmt.Println("  agg <entity> <relation> <count|sum|avg|max|min> [attr]")
-	fmt.Println("  save <path> | stats | quit")
+	fmt.Println("  save <path> | stats | metrics | quit")
 	sc := bufio.NewScanner(os.Stdin)
 	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
 		fields := strings.Fields(sc.Text())
@@ -201,16 +287,28 @@ func runREPL(eng *core.Engine, g *kg.Graph) {
 				fmt.Println("usage: save <path>")
 				continue
 			}
-			if err := eng.SaveFile(fields[1]); err != nil {
+			if err := v.SaveFile(fields[1]); err != nil {
 				fmt.Printf("error: %v\n", err)
 				continue
 			}
 			fmt.Printf("snapshot written to %s\n", fields[1])
 		case "stats":
-			s := eng.IndexStats()
+			s := v.IndexStats()
 			fmt.Printf("index: %d nodes (%d internal, %d leaves, %d pending), %d splits, %d bytes, height %d\n",
 				s.TotalNodes, s.InternalNodes, s.LeafNodes, s.PendingNodes,
 				s.BinarySplits, s.SizeBytes, s.Height)
+		case "metrics":
+			m := v.Metrics()
+			fmt.Printf("queries: %d topk (%d errors), %d aggregate; cache %d/%d hits (%.1f%%), %d coalesced\n",
+				m.TopKQueries, m.QueryErrors, m.AggregateQueries,
+				m.Cache.Hits, m.Cache.Hits+m.Cache.Misses, 100*m.CacheHitRate(), m.Coalesced)
+			fmt.Printf("index: %d splits, %d nodes created, accesses %d internal / %d leaf / %d pending\n",
+				m.CrackSplits, m.CrackNodesCreated,
+				m.NodeAccessInternal, m.NodeAccessLeaf, m.NodeAccessPending)
+			fmt.Printf("latency: topk p50 %v p95 %v p99 %v\n",
+				m.TopKLatency.P50.Round(time.Microsecond),
+				m.TopKLatency.P95.Round(time.Microsecond),
+				m.TopKLatency.P99.Round(time.Microsecond))
 		case "tails", "heads":
 			if len(fields) < 3 {
 				fmt.Println("usage: tails|heads <entity> <relation> [k]")
@@ -218,11 +316,11 @@ func runREPL(eng *core.Engine, g *kg.Graph) {
 			}
 			k := 5
 			if len(fields) > 3 {
-				if v, err := strconv.Atoi(fields[3]); err == nil {
-					k = v
+				if n, err := strconv.Atoi(fields[3]); err == nil {
+					k = n
 				}
 			}
-			if err := runTopK(eng, g, fields[0], fields[1], fields[2], k); err != nil {
+			if err := runTopK(v, fields[0], fields[1], fields[2], k, trace); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
 		case "agg":
@@ -234,7 +332,7 @@ func runREPL(eng *core.Engine, g *kg.Graph) {
 			if len(fields) > 4 {
 				attr = fields[4]
 			}
-			if err := runAgg(eng, g, "tails", fields[1], fields[2], fields[3], attr); err != nil {
+			if err := runAgg(v, "tails", fields[1], fields[2], fields[3], attr, trace); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
 		default:

@@ -32,11 +32,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := base.Engine().Model()
 
 	build := func(mode vkg.IndexMode) (*vkg.VKG, time.Duration) {
 		start := time.Now()
-		v, err := vkg.Build(g, vkg.WithSeed(3), vkg.WithIndexMode(mode), vkg.WithPretrainedModel(model))
+		v, err := vkg.Build(g, vkg.WithSeed(3), vkg.WithIndexMode(mode), vkg.WithModelFrom(base))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +69,7 @@ func main() {
 		if mc.mode == vkg.ModeCrackTopK {
 			start := time.Now()
 			var err error
-			v, err = vkg.Build(g, vkg.WithSeed(3), vkg.WithPretrainedModel(model), vkg.WithSplitChoices(2))
+			v, err = vkg.Build(g, vkg.WithSeed(3), vkg.WithModelFrom(base), vkg.WithSplitChoices(2))
 			if err != nil {
 				log.Fatal(err)
 			}

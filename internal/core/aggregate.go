@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"vkgraph/internal/kg"
+	"vkgraph/internal/obs"
 	"vkgraph/internal/rtree"
 )
 
@@ -100,32 +102,49 @@ func (r AggResult) ConfidenceRadius(conf float64) float64 {
 // (h, r, ?): Q2 of the paper ("average age of people who would like
 // Restaurant 2" is the symmetric AggregateHeads). Safe for concurrent use.
 func (e *Engine) AggregateTails(h kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
-	return e.aggregateQuery(DirTail, h, r, q, e.params.Eps)
+	return e.aggregateQuery(DirTail, h, r, q, e.params.Eps, nil)
 }
 
 // AggregateHeads answers an aggregate query over the predicted heads of
 // (?, r, t). Safe for concurrent use.
 func (e *Engine) AggregateHeads(t kg.EntityID, r kg.RelationID, q AggQuery) (*AggResult, error) {
-	return e.aggregateQuery(DirHead, t, r, q, e.params.Eps)
+	return e.aggregateQuery(DirHead, t, r, q, e.params.Eps, nil)
 }
 
 // aggregateQuery is the shared body of the aggregate entry points; the eps
-// parameter lets Do/DoBatch apply a per-request ball-expansion override.
-func (e *Engine) aggregateQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, q AggQuery, eps float64) (*AggResult, error) {
+// parameter lets Do/DoBatch apply a per-request ball-expansion override and
+// tr, when non-nil, collects the per-stage breakdown.
+func (e *Engine) aggregateQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, q AggQuery, eps float64, tr *obs.QueryTrace) (*AggResult, error) {
+	start := time.Now()
 	e.prepareIndex()
+	w0 := time.Now()
 	e.mu.RLock()
+	e.met.lockReadWait.Observe(time.Since(w0).Seconds())
 	if err := e.validateEntity(ent); err != nil {
 		e.mu.RUnlock()
+		e.met.queryErrors.Inc()
 		return nil, err
 	}
 	if err := e.validateRelation(rel); err != nil {
 		e.mu.RUnlock()
+		e.met.queryErrors.Inc()
 		return nil, err
 	}
+	tr.Step(obs.StageValidate)
+	var res *AggResult
+	var err error
 	if dir == DirHead {
-		return e.aggregate(e.m.HeadQueryPoint(ent, rel), q, e.skipHeads(ent, rel), eps)
+		res, err = e.aggregate(e.m.HeadQueryPoint(ent, rel), q, e.skipHeads(ent, rel), eps, tr)
+	} else {
+		res, err = e.aggregate(e.m.TailQueryPoint(ent, rel), q, e.skipTails(ent, rel), eps, tr)
 	}
-	return e.aggregate(e.m.TailQueryPoint(ent, rel), q, e.skipTails(ent, rel), eps)
+	if err != nil {
+		e.met.queryErrors.Inc()
+		return nil, err
+	}
+	e.met.aggQueries.Inc()
+	e.met.latAgg.Observe(time.Since(start).Seconds())
+	return res, nil
 }
 
 // ballPoint is one entity of the probability ball, ordered by S2 distance
@@ -148,7 +167,7 @@ type ballPoint struct {
 // The caller holds the engine read lock; aggregate releases it on every
 // path, upgrading to the write lock for the cracking step only when the
 // query region actually needs it (see Engine.finishQuery).
-func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool, eps float64) (*AggResult, error) {
+func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool, eps float64, tr *obs.QueryTrace) (*AggResult, error) {
 	attrIdx := -1
 	if q.Kind != Count {
 		if q.Attr == "" {
@@ -167,6 +186,7 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 	}
 
 	q2 := e.tf.Apply(q1)
+	tr.Step(obs.StageTransform)
 
 	// The ball radius: the closest entity has probability 1 at distance d1
 	// and probabilities decay as d1/d, so probability >= pTau within
@@ -205,11 +225,18 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 		ball = append(ball, ballPoint{id: eid, d2: math.Sqrt(sqd)})
 		return true
 	})
+	tr.Step(obs.StageSearch)
 
 	b := len(ball)
 	a := b
 	if q.MaxAccess > 0 && q.MaxAccess < b {
 		a = q.MaxAccess
+		e.met.aggCapped.Inc()
+	}
+	e.met.aggAccessed.Add(uint64(a))
+	e.met.aggBall.Add(uint64(b))
+	if tr != nil {
+		tr.Accessed, tr.BallSize = a, b
 	}
 
 	// Access the a closest points: S1 distance, probability, attribute.
@@ -247,11 +274,12 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 	// v_m: prefer contour-element statistics (max |v| among elements
 	// overlapping the ball), fall back to the sample maximum.
 	vm := e.tailMaxAbs(q2, r2, attrIdx, ball[:a], q.Kind)
+	tr.Step(obs.StageRefine)
 
 	// Crack the index for this query region: aggregate queries shape the
 	// index exactly as top-k queries do. finishQuery releases the read lock
 	// and only takes the write lock when the region still needs splits.
-	e.finishQuery(rtree.BallRect(q2, r2), true)
+	e.finishQuery(rtree.BallRect(q2, r2), true, tr)
 
 	res := &AggResult{Accessed: a, BallSize: b, VM: vm}
 	for i := 0; i < a; i++ {
@@ -282,6 +310,7 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 	default:
 		return nil, fmt.Errorf("core: unknown aggregate kind %v", q.Kind)
 	}
+	tr.Step(obs.StageEstimate)
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"vkgraph/internal/kg"
+	"vkgraph/internal/obs"
 )
 
 // defaultCacheSize is the number of distinct top-k answers kept hot. At
@@ -36,18 +37,21 @@ type cacheEntry struct {
 }
 
 // resultCache is a mutex-guarded LRU over top-k answers. Cached results are
-// shared: callers must treat them as immutable.
+// shared: callers must treat them as immutable. Hit/miss counters live in
+// the engine's metric registry so the cache's effectiveness shows up on
+// /metrics without a second set of numbers to reconcile.
 type resultCache struct {
 	mu     sync.Mutex
 	cap    int
 	ll     *list.List // front = most recently used
 	m      map[topkKey]*list.Element
-	hits   uint64
-	misses uint64
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{cap: capacity, ll: list.New(), m: make(map[topkKey]*list.Element)}
+func newResultCache(capacity int, hits, misses *obs.Counter) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[topkKey]*list.Element),
+		hits: hits, misses: misses}
 }
 
 // get returns the cached answer for key if it was computed at generation
@@ -58,18 +62,18 @@ func (c *resultCache) get(key topkKey, gen uint64) (*TopKResult, bool) {
 	defer c.mu.Unlock()
 	ele, ok := c.m[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
 	ent := ele.Value.(*cacheEntry)
 	if ent.gen != gen {
 		c.ll.Remove(ele)
 		delete(c.m, key)
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(ele)
-	c.hits++
+	c.hits.Inc()
 	return ent.res, true
 }
 
@@ -95,13 +99,14 @@ func (c *resultCache) reset() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.m)
-	c.hits, c.misses = 0, 0
+	c.hits.Reset()
+	c.misses.Reset()
 }
 
 func (c *resultCache) stats() (hits, misses uint64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
+	return c.hits.Value(), c.misses.Value(), c.ll.Len()
 }
 
 // CacheStats reports result-cache effectiveness counters.

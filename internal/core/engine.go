@@ -12,10 +12,12 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vkgraph/internal/embedding"
 	"vkgraph/internal/jl"
 	"vkgraph/internal/kg"
+	"vkgraph/internal/obs"
 	"vkgraph/internal/rtree"
 )
 
@@ -107,16 +109,27 @@ type Engine struct {
 	sfMu     sync.Mutex
 	inflight map[topkKey]*inflightCall
 
+	// met is the engine's metric surface (counters, histograms, slow-query
+	// log); always non-nil after initExec, so hot paths increment without
+	// nil checks.
+	met *engineMetrics
+
 	// degraded records that LoadEngine had to rebuild a cold index because
 	// the snapshot's index section was damaged.
 	degraded bool
 }
 
-// initExec sets up the batch-executor state (result cache, singleflight
-// map); called by both NewEngine and LoadEngine.
+// initExec sets up the batch-executor state (metrics, result cache,
+// singleflight map); called by both NewEngine and LoadEngine. The tree, when
+// already present (the load path), is wired to the node-access counters;
+// NewEngine wires it after choosing the index mode.
 func (e *Engine) initExec() {
-	e.cache = newResultCache(defaultCacheSize)
+	e.met = newEngineMetrics(e)
+	e.cache = newResultCache(defaultCacheSize, e.met.cacheHits, e.met.cacheMisses)
 	e.inflight = make(map[topkKey]*inflightCall)
+	if e.tree != nil {
+		e.tree.SetAccessCounters(&e.met.nodeAccess)
+	}
 }
 
 // NewEngine builds the query engine: projects every entity embedding into
@@ -164,6 +177,7 @@ func NewEngine(g *kg.Graph, m *embedding.Model, mode IndexMode, p Params) (*Engi
 	default:
 		return nil, fmt.Errorf("core: unknown index mode %d", mode)
 	}
+	e.tree.SetAccessCounters(&e.met.nodeAccess)
 	return e, nil
 }
 
@@ -229,21 +243,40 @@ func (e *Engine) prepareIndex() {
 // the caller still holds): if the query region still needs cracking, the
 // lock is retaken in write mode and the index cracked; otherwise the region
 // is warm and only the query counter is touched. The read lock is released
-// either way.
-func (e *Engine) finishQuery(q rtree.Rect, doCrack bool) {
+// either way. Split and node-creation deltas are captured under the write
+// lock (both accessors are O(1)), so the crack counters attribute exactly
+// this query's structural work.
+func (e *Engine) finishQuery(q rtree.Rect, doCrack bool, tr *obs.QueryTrace) {
 	if !doCrack {
 		e.mu.RUnlock()
+		tr.Step(obs.StageCrack)
 		return
 	}
 	needs := e.tree.NeedsCrack(q)
 	e.mu.RUnlock()
 	if !needs {
 		e.tree.NoteQuery()
+		e.met.warmQueries.Inc()
+		tr.Step(obs.StageCrack)
 		return
 	}
+	t0 := time.Now()
 	e.mu.Lock()
+	e.met.lockWriteWait.Observe(time.Since(t0).Seconds())
+	splits0, nodes0 := e.tree.Splits(), e.tree.NodesCreated()
+	c0 := time.Now()
 	e.tree.Crack(q)
+	held := time.Since(c0)
+	splits, nodes := e.tree.Splits()-splits0, e.tree.NodesCreated()-nodes0
 	e.mu.Unlock()
+	e.met.crackLock.Observe(held.Seconds())
+	e.met.crackQueries.Inc()
+	e.met.crackSplits.Add(uint64(splits))
+	e.met.crackNodes.Add(uint64(nodes))
+	if tr != nil {
+		tr.Splits, tr.NodesCreated = splits, nodes
+		tr.Step(obs.StageCrack)
+	}
 }
 
 // s1Dist returns the S1 distance between query point q1 and entity id,

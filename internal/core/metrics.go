@@ -1,0 +1,182 @@
+package core
+
+import (
+	"vkgraph/internal/obs"
+	"vkgraph/internal/rtree"
+)
+
+// engineMetrics is the engine's metric surface: every hot-path counter the
+// paper's cost analysis is stated in (node accesses, candidates examined,
+// splits performed, accesses under MaxAccess) plus the serving-layer ones
+// (cache, singleflight, lock waits, latency histograms). All increments are
+// atomic and lock-free; the registry only locks at registration and scrape
+// time, so instrumentation adds no serialization to the query paths.
+type engineMetrics struct {
+	reg  *obs.Registry
+	slow *obs.SlowLog
+
+	topkQueries *obs.Counter
+	aggQueries  *obs.Counter
+	queryErrors *obs.Counter
+
+	latTopK *obs.Histogram
+	latAgg  *obs.Histogram
+
+	examined *obs.Counter // candidates whose S1 distance was computed
+	pruned   *obs.Counter // refinements aborted early by the kth-distance bound
+
+	// nodeAccess is wired into the tree (SetAccessCounters): internal/leaf/
+	// pending node visits of every WalkWithin and NearestSeeds traversal.
+	nodeAccess rtree.AccessCounters
+
+	aggAccessed *obs.Counter // a: ball points materialized in S1
+	aggBall     *obs.Counter // b: probability-ball sizes
+	aggCapped   *obs.Counter // aggregate queries truncated by MaxAccess
+
+	crackQueries *obs.Counter   // queries whose region still needed splits
+	warmQueries  *obs.Counter   // queries served entirely from warm regions
+	crackSplits  *obs.Counter   // binary splits performed by cracking
+	crackNodes   *obs.Counter   // tree nodes created by cracking
+	crackLock    *obs.Histogram // seconds holding the write lock to crack
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	sfCoalesced *obs.Counter
+
+	lockReadWait  *obs.Histogram // seconds waiting to acquire the read lock
+	lockWriteWait *obs.Histogram // seconds waiting to acquire the write lock
+}
+
+func newEngineMetrics(e *Engine) *engineMetrics {
+	r := obs.NewRegistry()
+	m := &engineMetrics{reg: r, slow: obs.NewSlowLog(128)}
+
+	m.topkQueries = r.Counter("vkg_queries_total", "Queries answered, by kind.", obs.Label{Key: "kind", Value: "topk"})
+	m.aggQueries = r.Counter("vkg_queries_total", "Queries answered, by kind.", obs.Label{Key: "kind", Value: "aggregate"})
+	m.queryErrors = r.Counter("vkg_query_errors_total", "Queries rejected by validation or execution errors.")
+
+	m.latTopK = r.Histogram("vkg_query_latency_seconds", "Query latency, by kind.", nil, obs.Label{Key: "kind", Value: "topk"})
+	m.latAgg = r.Histogram("vkg_query_latency_seconds", "Query latency, by kind.", nil, obs.Label{Key: "kind", Value: "aggregate"})
+
+	m.examined = r.Counter("vkg_topk_candidates_examined_total", "Candidate entities whose S1 distance was computed (Algorithm 3).")
+	m.pruned = r.Counter("vkg_topk_pruned_by_bound_total", "Candidate refinements aborted early by the running kth-distance bound.")
+
+	r.CounterFunc("vkg_index_node_accesses_total", "Index nodes visited by traversals, by node type (the Lemma 3 cost).",
+		m.nodeAccess.Internal.Load, obs.Label{Key: "type", Value: "internal"})
+	r.CounterFunc("vkg_index_node_accesses_total", "Index nodes visited by traversals, by node type (the Lemma 3 cost).",
+		m.nodeAccess.Leaf.Load, obs.Label{Key: "type", Value: "leaf"})
+	r.CounterFunc("vkg_index_node_accesses_total", "Index nodes visited by traversals, by node type (the Lemma 3 cost).",
+		m.nodeAccess.Pending.Load, obs.Label{Key: "type", Value: "pending"})
+
+	m.aggAccessed = r.Counter("vkg_aggregate_points_accessed_total", "Ball points materialized in S1 by aggregate queries (a of Theorem 4).")
+	m.aggBall = r.Counter("vkg_aggregate_ball_points_total", "Probability-ball sizes summed over aggregate queries (b of Theorem 4).")
+	m.aggCapped = r.Counter("vkg_aggregate_maxaccess_capped_total", "Aggregate queries whose sample was truncated by MaxAccess.")
+
+	m.crackQueries = r.Counter("vkg_crack_queries_total", "Queries by whether their region still needed cracking.", obs.Label{Key: "region", Value: "cold"})
+	m.warmQueries = r.Counter("vkg_crack_queries_total", "Queries by whether their region still needed cracking.", obs.Label{Key: "region", Value: "warm"})
+	m.crackSplits = r.Counter("vkg_crack_splits_total", "Binary splits performed by query-driven cracking.")
+	m.crackNodes = r.Counter("vkg_crack_nodes_created_total", "Index nodes created by query-driven cracking.")
+	m.crackLock = r.Histogram("vkg_crack_write_lock_seconds", "Time holding the engine write lock to crack the index.", nil)
+
+	m.cacheHits = r.Counter("vkg_cache_hits_total", "Top-k result cache hits.")
+	m.cacheMisses = r.Counter("vkg_cache_misses_total", "Top-k result cache misses.")
+	r.GaugeFunc("vkg_cache_entries", "Resident top-k result cache entries.", func() float64 {
+		return float64(e.CacheStats().Entries)
+	})
+	m.sfCoalesced = r.Counter("vkg_singleflight_coalesced_total", "Top-k requests that shared another in-flight execution.")
+
+	m.lockReadWait = r.Histogram("vkg_lock_wait_seconds", "Time waiting to acquire the engine lock, by mode.", nil, obs.Label{Key: "mode", Value: "read"})
+	m.lockWriteWait = r.Histogram("vkg_lock_wait_seconds", "Time waiting to acquire the engine lock, by mode.", nil, obs.Label{Key: "mode", Value: "write"})
+
+	r.GaugeFunc("vkg_graph_generation", "Graph mutation counter (AddFact/InsertEntity).", func() float64 {
+		return float64(e.gen.Load())
+	})
+	r.GaugeFunc("vkg_index_nodes", "Current index node count.", func() float64 {
+		return float64(e.IndexStats().TotalNodes)
+	})
+	r.GaugeFunc("vkg_index_size_bytes", "Estimated index size in bytes.", func() float64 {
+		return float64(e.IndexStats().SizeBytes)
+	})
+	return m
+}
+
+// Registry returns the engine's metric registry (for the ops HTTP handler
+// and tests).
+func (e *Engine) Registry() *obs.Registry { return e.met.reg }
+
+// SlowLog returns the engine's slow-query log. Setting a positive threshold
+// enables it and turns on per-query tracing so logged entries carry their
+// stage breakdown.
+func (e *Engine) SlowLog() *obs.SlowLog { return e.met.slow }
+
+// MetricsSnapshot is a structured point-in-time view of every engine
+// counter, suitable for programmatic consumption (vkg.Metrics wraps it).
+type MetricsSnapshot struct {
+	TopKQueries      uint64
+	AggregateQueries uint64
+	QueryErrors      uint64
+
+	TopKLatency      obs.HistSnapshot
+	AggregateLatency obs.HistSnapshot
+
+	CandidatesExamined uint64
+	PrunedByBound      uint64
+
+	NodeAccessInternal uint64
+	NodeAccessLeaf     uint64
+	NodeAccessPending  uint64
+
+	AggPointsAccessed  uint64
+	AggBallPoints      uint64
+	AggMaxAccessCapped uint64
+
+	CrackQueries      uint64
+	WarmQueries       uint64
+	CrackSplits       uint64
+	CrackNodesCreated uint64
+	CrackWriteLock    obs.HistSnapshot
+
+	CacheHits     uint64
+	CacheMisses   uint64
+	CacheEntries  int
+	Coalesced     uint64
+	ReadLockWait  obs.HistSnapshot
+	WriteLockWait obs.HistSnapshot
+
+	Generation uint64
+}
+
+// MetricsSnapshot captures the current engine counters. Concurrent queries
+// may land between the atomic reads; the snapshot is race-clean but not an
+// instantaneous cut.
+func (e *Engine) MetricsSnapshot() MetricsSnapshot {
+	m := e.met
+	cs := e.CacheStats()
+	return MetricsSnapshot{
+		TopKQueries:        m.topkQueries.Value(),
+		AggregateQueries:   m.aggQueries.Value(),
+		QueryErrors:        m.queryErrors.Value(),
+		TopKLatency:        m.latTopK.Snapshot(),
+		AggregateLatency:   m.latAgg.Snapshot(),
+		CandidatesExamined: m.examined.Value(),
+		PrunedByBound:      m.pruned.Value(),
+		NodeAccessInternal: m.nodeAccess.Internal.Load(),
+		NodeAccessLeaf:     m.nodeAccess.Leaf.Load(),
+		NodeAccessPending:  m.nodeAccess.Pending.Load(),
+		AggPointsAccessed:  m.aggAccessed.Value(),
+		AggBallPoints:      m.aggBall.Value(),
+		AggMaxAccessCapped: m.aggCapped.Value(),
+		CrackQueries:       m.crackQueries.Value(),
+		WarmQueries:        m.warmQueries.Value(),
+		CrackSplits:        m.crackSplits.Value(),
+		CrackNodesCreated:  m.crackNodes.Value(),
+		CrackWriteLock:     m.crackLock.Snapshot(),
+		CacheHits:          cs.Hits,
+		CacheMisses:        cs.Misses,
+		CacheEntries:       cs.Entries,
+		Coalesced:          m.sfCoalesced.Value(),
+		ReadLockWait:       m.lockReadWait.Snapshot(),
+		WriteLockWait:      m.lockWriteWait.Snapshot(),
+		Generation:         e.gen.Load(),
+	}
+}

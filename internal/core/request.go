@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"vkgraph/internal/kg"
+	"vkgraph/internal/obs"
 )
 
 // This file is the unified request surface over the engine: every query the
@@ -54,6 +55,9 @@ type Request struct {
 	// NoIndex answers by the exact S1 scan (the ground-truth baseline)
 	// instead of the index.
 	NoIndex bool
+	// Trace requests a per-stage timing breakdown in Response.Trace. The
+	// exact-scan baseline (NoIndex) is never traced — it has no stages.
+	Trace bool
 }
 
 // Response is the answer to one Request: exactly one of TopK or Agg is set
@@ -62,6 +66,9 @@ type Response struct {
 	TopK *TopKResult
 	Agg  *AggResult
 	Err  error
+	// Trace is the stage breakdown when the request asked for one (or the
+	// slow-query log forced one); nil otherwise.
+	Trace *obs.QueryTrace
 }
 
 // inflightCall is one singleflight execution slot: the first goroutine to
@@ -84,11 +91,11 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	}
 	switch req.Kind {
 	case KindTopK:
-		res, err := e.doTopK(ctx, req)
-		return Response{TopK: res, Err: err}
+		res, tr, err := e.doTopK(ctx, req)
+		return Response{TopK: res, Trace: tr, Err: err}
 	case KindAggregate:
-		res, err := e.doAggregate(req)
-		return Response{Agg: res, Err: err}
+		res, tr, err := e.doAggregate(req)
+		return Response{Agg: res, Trace: tr, Err: err}
 	default:
 		return Response{Err: fmt.Errorf("core: unknown query kind %d", req.Kind)}
 	}
@@ -143,9 +150,29 @@ func (e *Engine) DoBatchWorkers(ctx context.Context, reqs []Request, workers int
 	return out
 }
 
+// startTrace returns a live trace when the request opted in or the
+// slow-query log is armed (slow entries need the stage breakdown), and nil
+// otherwise — the nil trace keeps the hot path at a single branch.
+func (e *Engine) startTrace(req Request) *obs.QueryTrace {
+	if req.Trace || e.met.slow.Enabled() {
+		return obs.StartTrace()
+	}
+	return nil
+}
+
+// noteSlow files the finished trace in the slow-query log when its wall
+// time crosses the threshold. desc is built lazily — the common case is a
+// fast query and no formatting at all.
+func (e *Engine) noteSlow(tr *obs.QueryTrace, desc func() string) {
+	if tr == nil || !e.met.slow.Slow(tr.Wall) {
+		return
+	}
+	e.met.slow.Record(desc(), tr.Wall, tr)
+}
+
 // doTopK executes a top-k request through the cache and the in-flight
 // coalescing map.
-func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, error) {
+func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, *obs.QueryTrace, error) {
 	eps := req.Eps
 	if eps <= 0 {
 		eps = e.params.Eps
@@ -154,10 +181,13 @@ func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, error) {
 		// The exact scan is the accuracy ground truth; it bypasses both the
 		// index and the cache so it can never return an index-shaped answer.
 		if req.Dir == DirHead {
-			return e.TopKHeadsNoIndex(req.Entity, req.Rel, req.K)
+			res, err := e.TopKHeadsNoIndex(req.Entity, req.Rel, req.K)
+			return res, nil, err
 		}
-		return e.TopKTailsNoIndex(req.Entity, req.Rel, req.K)
+		res, err := e.TopKTailsNoIndex(req.Entity, req.Rel, req.K)
+		return res, nil, err
 	}
+	tr := e.startTrace(req)
 
 	key := topkKey{dir: req.Dir, ent: req.Entity, rel: req.Rel, k: req.K, eps: eps}
 	// The generation is read before executing: if a mutation lands while the
@@ -165,28 +195,49 @@ func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, error) {
 	// lookup discards it.
 	gen := e.gen.Load()
 	if res, ok := e.cache.get(key, gen); ok {
-		return res, nil
+		if tr != nil {
+			tr.CacheHit = true
+			tr.Step(obs.StageCache)
+			tr.Finish()
+		}
+		return res, tr, nil
+	}
+	tr.Step(obs.StageCache)
+	// desc is declared after the cache-hit return so the closure is never
+	// allocated on the (microsecond-scale) hit path.
+	desc := func() string {
+		return fmt.Sprintf("topk dir=%d ent=%d rel=%d k=%d eps=%g", req.Dir, req.Entity, req.Rel, req.K, eps)
 	}
 
 	e.sfMu.Lock()
 	if c, ok := e.inflight[key]; ok {
 		e.sfMu.Unlock()
+		e.met.sfCoalesced.Inc()
+		if tr != nil {
+			tr.Coalesced = true
+		}
+		wait := func() (*TopKResult, *obs.QueryTrace, error) {
+			tr.Step(obs.StageWait)
+			tr.Finish()
+			e.noteSlow(tr, desc)
+			return c.res, tr, c.err
+		}
 		if ctx == nil {
 			<-c.done
-			return c.res, c.err
+			return wait()
 		}
 		select {
 		case <-c.done:
-			return c.res, c.err
+			return wait()
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 	}
 	c := &inflightCall{done: make(chan struct{})}
 	e.inflight[key] = c
 	e.sfMu.Unlock()
 
-	c.res, c.err = e.topKQuery(req.Dir, req.Entity, req.Rel, req.K, eps)
+	c.res, c.err = e.topKQuery(req.Dir, req.Entity, req.Rel, req.K, eps, tr)
 	if c.err == nil {
 		e.cache.put(key, gen, c.res)
 	}
@@ -194,19 +245,29 @@ func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, error) {
 	delete(e.inflight, key)
 	e.sfMu.Unlock()
 	close(c.done)
-	return c.res, c.err
+	tr.Finish()
+	e.noteSlow(tr, desc)
+	return c.res, tr, c.err
 }
 
-func (e *Engine) doAggregate(req Request) (*AggResult, error) {
+func (e *Engine) doAggregate(req Request) (*AggResult, *obs.QueryTrace, error) {
 	if req.NoIndex {
 		if req.Dir == DirHead {
-			return e.AggregateHeadsExact(req.Entity, req.Rel, req.Agg)
+			res, err := e.AggregateHeadsExact(req.Entity, req.Rel, req.Agg)
+			return res, nil, err
 		}
-		return e.AggregateTailsExact(req.Entity, req.Rel, req.Agg)
+		res, err := e.AggregateTailsExact(req.Entity, req.Rel, req.Agg)
+		return res, nil, err
 	}
 	eps := req.Eps
 	if eps <= 0 {
 		eps = e.params.Eps
 	}
-	return e.aggregateQuery(req.Dir, req.Entity, req.Rel, req.Agg, eps)
+	tr := e.startTrace(req)
+	res, err := e.aggregateQuery(req.Dir, req.Entity, req.Rel, req.Agg, eps, tr)
+	tr.Finish()
+	e.noteSlow(tr, func() string {
+		return fmt.Sprintf("agg %s dir=%d ent=%d rel=%d eps=%g", req.Agg.Kind, req.Dir, req.Entity, req.Rel, eps)
+	})
+	return res, tr, err
 }

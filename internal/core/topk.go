@@ -3,10 +3,12 @@ package core
 import (
 	"math"
 	"sort"
+	"time"
 
 	"vkgraph/internal/embedding"
 	"vkgraph/internal/jl"
 	"vkgraph/internal/kg"
+	"vkgraph/internal/obs"
 	"vkgraph/internal/rtree"
 )
 
@@ -38,31 +40,38 @@ type TopKResult struct {
 // head h, excluding edges already in E" — query Q1 of the paper. Safe for
 // concurrent use; see the Engine concurrency notes.
 func (e *Engine) TopKTails(h kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
-	return e.topKQuery(DirTail, h, r, k, e.params.Eps)
+	return e.topKQuery(DirTail, h, r, k, e.params.Eps, nil)
 }
 
 // TopKHeads answers "top-k entities h most likely to be in relation r with
 // tail t" — the symmetric query, searching around t - r. Safe for
 // concurrent use.
 func (e *Engine) TopKHeads(t kg.EntityID, r kg.RelationID, k int) (*TopKResult, error) {
-	return e.topKQuery(DirHead, t, r, k, e.params.Eps)
+	return e.topKQuery(DirHead, t, r, k, e.params.Eps, nil)
 }
 
 // topKQuery is the shared body of the top-k entry points: validate under
 // the read lock, run Algorithm 3 with the given query-expansion eps, and
 // complete the cracking step. The eps parameter lets Do/DoBatch apply a
-// per-request override without touching the engine parameters.
-func (e *Engine) topKQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, k int, eps float64) (*TopKResult, error) {
+// per-request override without touching the engine parameters; tr, when
+// non-nil, collects the per-stage breakdown.
+func (e *Engine) topKQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, k int, eps float64, tr *obs.QueryTrace) (*TopKResult, error) {
+	start := time.Now()
 	e.prepareIndex()
+	w0 := time.Now()
 	e.mu.RLock()
+	e.met.lockReadWait.Observe(time.Since(w0).Seconds())
 	if err := e.validateEntity(ent); err != nil {
 		e.mu.RUnlock()
+		e.met.queryErrors.Inc()
 		return nil, err
 	}
 	if err := e.validateRelation(rel); err != nil {
 		e.mu.RUnlock()
+		e.met.queryErrors.Inc()
 		return nil, err
 	}
+	tr.Step(obs.StageValidate)
 	var q1 []float64
 	var skip func(kg.EntityID) bool
 	if dir == DirHead {
@@ -72,8 +81,10 @@ func (e *Engine) topKQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, k int, e
 		q1 = e.m.TailQueryPoint(ent, rel)
 		skip = e.skipTails(ent, rel)
 	}
-	res, q, doCrack := e.findTopK(q1, k, eps, skip)
-	e.finishQuery(q, doCrack) // releases the read lock
+	res, q, doCrack := e.findTopK(q1, k, eps, skip, tr)
+	e.finishQuery(q, doCrack, tr) // releases the read lock
+	e.met.topkQueries.Inc()
+	e.met.latTopK.Observe(time.Since(start).Seconds())
 	return res, nil
 }
 
@@ -92,13 +103,14 @@ func (e *Engine) topKQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, k int, e
 // findTopK runs entirely under the engine read lock (held by the caller)
 // and never mutates the engine; it returns the final query region and
 // whether the caller should complete the cracking step.
-func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityID) bool) (*TopKResult, rtree.Rect, bool) {
+func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityID) bool, tr *obs.QueryTrace) (*TopKResult, rtree.Rect, bool) {
 	res := &TopKResult{}
 	if k <= 0 || e.ps.N() == 0 {
 		res.RecallBound = 1
 		return res, rtree.Rect{}, false
 	}
 	q2 := e.tf.Apply(q1)
+	tr.Step(obs.StageTransform)
 
 	// Line 2: seed candidates from the smallest element containing q.
 	// Request extra seeds since some will be skipped as known E-edges.
@@ -118,8 +130,10 @@ func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityI
 		}
 		want *= 4
 	}
+	tr.Step(obs.StageSearch)
 	if top.len() == 0 {
 		res.RecallBound = 1
+		e.met.examined.Add(uint64(res.Examined))
 		return res, rtree.Rect{}, false
 	}
 
@@ -130,6 +144,7 @@ func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityI
 	radius := func() float64 { return top.kth() * (1 + eps) }
 	sqRadius := func() float64 { r := radius(); return r * r }
 	l1 := e.m.NormUsed == embedding.L1
+	pruned := 0
 	e.tree.WalkWithin(q2, sqRadius, func(id32 int32, sqd float64) bool {
 		if sqd > sqRadius() {
 			return false
@@ -154,9 +169,12 @@ func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityI
 		sq := e.layout.sqDistBounded(q1, id, cutoffSq)
 		if !math.IsInf(sq, 1) {
 			top.offer(Prediction{Entity: id, Dist: math.Sqrt(sq)})
+		} else {
+			pruned++
 		}
 		return true
 	})
+	tr.Step(obs.StageRefine)
 
 	// Line 9's index update happens in the caller with this final region.
 	finalQ := rtree.BallRect(q2, radius())
@@ -169,6 +187,12 @@ func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityI
 	}
 	res.RecallBound = jl.TopKRecallLowerBound(rStar, eps, e.params.Alpha)
 	res.ExpectedMisses = jl.ExpectedTopKMisses(rStar, eps, e.params.Alpha)
+	e.met.examined.Add(uint64(res.Examined))
+	e.met.pruned.Add(uint64(pruned))
+	if tr != nil {
+		tr.Examined = res.Examined
+		tr.PrunedByBound = pruned
+	}
 	return res, finalQ, true
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"vkgraph/internal/kg"
 )
@@ -38,7 +39,9 @@ type Fact struct {
 // it takes the engine write lock and fully serializes against queries and
 // other updates.
 func (e *Engine) AddFact(h kg.EntityID, r kg.RelationID, t kg.EntityID) error {
+	w0 := time.Now()
 	e.mu.Lock()
+	e.met.lockWriteWait.Observe(time.Since(w0).Seconds())
 	defer e.mu.Unlock()
 	if err := e.validateEntity(h); err != nil {
 		return err
@@ -65,7 +68,9 @@ func (e *Engine) AddFact(h kg.EntityID, r kg.RelationID, t kg.EntityID) error {
 // InsertEntity is a writer: it takes the engine write lock and fully
 // serializes against queries and other updates.
 func (e *Engine) InsertEntity(name, typ string, facts []Fact, attrs map[string]float64) (kg.EntityID, error) {
+	w0 := time.Now()
 	e.mu.Lock()
+	e.met.lockWriteWait.Observe(time.Since(w0).Seconds())
 	defer e.mu.Unlock()
 	if len(facts) == 0 {
 		return 0, errors.New("core: InsertEntity needs at least one fact to place the entity")

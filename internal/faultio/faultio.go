@@ -168,13 +168,25 @@ func (f *FS) Remove(name string) error {
 }
 
 // Created returns the temp files created so far.
-func (f *FS) Created() []string { f.mu.Lock(); defer f.mu.Unlock(); return append([]string(nil), f.created...) }
+func (f *FS) Created() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.created...)
+}
 
 // Renamed returns the destinations successfully renamed into place.
-func (f *FS) Renamed() []string { f.mu.Lock(); defer f.mu.Unlock(); return append([]string(nil), f.renamed...) }
+func (f *FS) Renamed() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.renamed...)
+}
 
 // Removed returns the paths removed (temp-file cleanup).
-func (f *FS) Removed() []string { f.mu.Lock(); defer f.mu.Unlock(); return append([]string(nil), f.removed...) }
+func (f *FS) Removed() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.removed...)
+}
 
 type faultFile struct {
 	*os.File

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// expvarReg is the registry mirrored under the process-wide /debug/vars
+// page. expvar.Publish is global and panics on duplicate names, so the
+// "vkg" var is published once and reads through this pointer; when several
+// engines serve ops in one process (tests do), the var tracks the most
+// recently attached registry.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("vkg", expvar.Func(func() interface{} {
+			if reg := expvarReg.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the ops endpoint mux:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar JSON (standard vars plus the registry under "vkg")
+//	/debug/pprof/ the standard pprof handlers
+//	/slowlog      recent slow queries with stage breakdowns, as JSON
+//	/             a plain-text index of the above
+//
+// Either reg or slow may be nil; the corresponding endpoint then serves an
+// empty document.
+func Handler(reg *Registry, slow *SlowLog) http.Handler {
+	if reg != nil {
+		publishExpvar(reg)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		type entry struct {
+			Time      time.Time `json:"time"`
+			Query     string    `json:"query"`
+			LatencyMS float64   `json:"latency_ms"`
+			Stages    []struct {
+				Stage string  `json:"stage"`
+				MS    float64 `json:"ms"`
+			} `json:"stages,omitempty"`
+		}
+		var out struct {
+			ThresholdMS float64 `json:"threshold_ms"`
+			Entries     []entry `json:"entries"`
+		}
+		if slow != nil {
+			out.ThresholdMS = float64(slow.Threshold()) / float64(time.Millisecond)
+			for _, e := range slow.Entries() {
+				en := entry{Time: e.Time, Query: e.Query, LatencyMS: float64(e.Latency) / float64(time.Millisecond)}
+				if e.Trace != nil {
+					for _, s := range e.Trace.Spans {
+						en.Stages = append(en.Stages, struct {
+							Stage string  `json:"stage"`
+							MS    float64 `json:"ms"`
+						}{s.Stage, float64(s.Dur) / float64(time.Millisecond)})
+					}
+				}
+				out.Entries = append(out.Entries, en)
+			}
+		}
+		if out.Entries == nil {
+			out.Entries = []entry{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("vkgraph ops endpoints:\n" +
+			"  /metrics      Prometheus text format\n" +
+			"  /debug/vars   expvar JSON\n" +
+			"  /debug/pprof/ pprof profiles\n" +
+			"  /slowlog      recent slow queries (JSON)\n"))
+	})
+	return mux
+}

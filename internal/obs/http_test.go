@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, *http.Response) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return string(body), resp
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("http_test_total", "Test counter.")
+	c.Add(5)
+	slow := NewSlowLog(8)
+	slow.SetThreshold(time.Millisecond)
+	tr := StartTrace()
+	tr.Step(StageSearch)
+	tr.Finish()
+	slow.Record("topk ent=1 rel=2 k=5", 3*time.Millisecond, tr)
+
+	srv := httptest.NewServer(Handler(r, slow))
+	defer srv.Close()
+
+	body, resp := get(t, srv, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "http_test_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	body, _ = get(t, srv, "/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["vkg"]; !ok {
+		t.Error("/debug/vars missing the vkg var")
+	}
+
+	body, _ = get(t, srv, "/slowlog")
+	var sl struct {
+		ThresholdMS float64 `json:"threshold_ms"`
+		Entries     []struct {
+			Query     string  `json:"query"`
+			LatencyMS float64 `json:"latency_ms"`
+			Stages    []struct {
+				Stage string  `json:"stage"`
+				MS    float64 `json:"ms"`
+			} `json:"stages"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &sl); err != nil {
+		t.Fatalf("/slowlog is not JSON: %v\n%s", err, body)
+	}
+	if sl.ThresholdMS != 1 {
+		t.Errorf("threshold_ms = %v, want 1", sl.ThresholdMS)
+	}
+	if len(sl.Entries) != 1 || sl.Entries[0].Query != "topk ent=1 rel=2 k=5" {
+		t.Fatalf("entries = %+v", sl.Entries)
+	}
+	if len(sl.Entries[0].Stages) != 1 || sl.Entries[0].Stages[0].Stage != StageSearch {
+		t.Errorf("stages = %+v", sl.Entries[0].Stages)
+	}
+
+	body, _ = get(t, srv, "/")
+	if !strings.Contains(body, "/metrics") {
+		t.Errorf("index page missing endpoint list:\n%s", body)
+	}
+
+	_, resp = get(t, srv, "/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+
+	body, _ = get(t, srv, "/debug/pprof/cmdline")
+	if body == "" {
+		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	body, resp := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK || body != "" {
+		t.Fatalf("nil-registry /metrics: status %d body %q", resp.StatusCode, body)
+	}
+	body, _ = get(t, srv, "/slowlog")
+	var sl struct {
+		Entries []struct{} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &sl); err != nil {
+		t.Fatalf("/slowlog is not JSON: %v", err)
+	}
+}

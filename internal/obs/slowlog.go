@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one logged slow query.
+type SlowEntry struct {
+	Time    time.Time     `json:"time"`
+	Query   string        `json:"query"`
+	Latency time.Duration `json:"latency_ns"`
+	// Trace carries the stage breakdown when tracing was active for the
+	// query (always the case while the slow log is enabled).
+	Trace *QueryTrace `json:"trace,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring of the most recent queries slower than a
+// configurable threshold. The threshold check on the hot path is one atomic
+// load; recording (rare by construction) takes a mutex.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds; 0 disables the log
+
+	mu   sync.Mutex
+	buf  []SlowEntry
+	next int
+	n    int
+}
+
+// NewSlowLog returns a slow-query log keeping the most recent capacity
+// entries; the log starts disabled (threshold 0).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowLog{buf: make([]SlowEntry, capacity)}
+}
+
+// SetThreshold sets the latency above which queries are logged; a
+// non-positive value disables the log.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.threshold.Store(int64(d))
+}
+
+// Threshold returns the current threshold (0 when disabled).
+func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.threshold.Load()) }
+
+// Enabled reports whether the log is recording. Engines force per-query
+// tracing while it is, so logged entries carry their stage breakdown.
+func (l *SlowLog) Enabled() bool { return l.threshold.Load() > 0 }
+
+// Slow reports whether a query of the given latency should be recorded.
+func (l *SlowLog) Slow(lat time.Duration) bool {
+	t := l.threshold.Load()
+	return t > 0 && int64(lat) >= t
+}
+
+// Record appends an entry. Callers gate on Slow first so the description
+// string is only built for queries that will actually be kept.
+func (l *SlowLog) Record(query string, lat time.Duration, tr *QueryTrace) {
+	e := SlowEntry{Time: time.Now(), Query: query, Latency: lat, Trace: tr}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+}
+
+// Entries returns the logged queries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}
+
+// Len returns the number of logged entries.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}

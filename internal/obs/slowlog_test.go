@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(4)
+	if l.Enabled() {
+		t.Fatal("new log should start disabled")
+	}
+	if l.Slow(time.Hour) {
+		t.Fatal("disabled log reported a query as slow")
+	}
+	l.SetThreshold(10 * time.Millisecond)
+	if !l.Enabled() {
+		t.Fatal("Enabled = false after SetThreshold")
+	}
+	if l.Slow(5 * time.Millisecond) {
+		t.Fatal("5ms reported slow under a 10ms threshold")
+	}
+	if !l.Slow(10 * time.Millisecond) {
+		t.Fatal("threshold should be inclusive")
+	}
+	l.SetThreshold(-1)
+	if l.Enabled() {
+		t.Fatal("negative threshold should disable the log")
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3)
+	l.SetThreshold(time.Millisecond)
+	for i := 0; i < 5; i++ {
+		l.Record(fmt.Sprintf("q%d", i), time.Duration(i)*time.Millisecond, nil)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	got := l.Entries()
+	// Newest first, oldest two evicted.
+	want := []string{"q4", "q3", "q2"}
+	for i, w := range want {
+		if got[i].Query != w {
+			t.Fatalf("entry %d = %q, want %q (entries: %+v)", i, got[i].Query, w, got)
+		}
+	}
+}

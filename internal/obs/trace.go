@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stage names used by the engine's query trace. The stages of one query are
+// contiguous — each Step closes the segment since the previous mark — so
+// their durations sum to the traced wall time.
+const (
+	StageCache     = "cache"     // result-cache lookup
+	StageValidate  = "validate"  // id validation under the read lock
+	StageTransform = "transform" // query-point construction + JL projection
+	StageSearch    = "search"    // index seed probe (Algorithm 3 line 2)
+	StageRefine    = "refine"    // S2-ordered walk + S1 refinement
+	StageCrack     = "crack"     // index cracking (write lock) or warm no-op
+	StageEstimate  = "estimate"  // aggregate estimation after the crack step
+	StageWait      = "wait"      // blocked on a coalesced in-flight execution
+)
+
+// Span is one timed stage of a query.
+type Span struct {
+	Stage string
+	// Start is the offset from the beginning of the query.
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// QueryTrace is an opt-in per-query breakdown: where the time went, stage
+// by stage, plus the cost counters the paper's analysis is stated in (node
+// accesses under Lemma 3 terms, candidates examined, bound-pruned
+// refinements). A nil *QueryTrace is valid and every method is a no-op on
+// it, so instrumented code calls unconditionally.
+type QueryTrace struct {
+	start time.Time
+	mark  time.Time
+
+	// Spans are the timed stages in execution order.
+	Spans []Span
+	// Wall is the total traced duration (set by Finish).
+	Wall time.Duration
+
+	// CacheHit marks a query answered from the result cache.
+	CacheHit bool
+	// Coalesced marks a query that shared another in-flight execution.
+	Coalesced bool
+
+	// Examined counts candidates whose S1 distance was computed.
+	Examined int
+	// PrunedByBound counts candidates abandoned early because their partial
+	// S1 distance already exceeded the current kth bound.
+	PrunedByBound int
+	// Splits is the number of binary splits this query's cracking step
+	// performed (0 for a warm region).
+	Splits int
+	// NodesCreated is the number of index nodes the cracking step created.
+	NodesCreated int
+	// Accessed/BallSize report the sampled and total ball sizes of an
+	// aggregate query (a and b of Theorem 4).
+	Accessed, BallSize int
+}
+
+// StartTrace begins a trace at the current time.
+func StartTrace() *QueryTrace {
+	now := time.Now()
+	return &QueryTrace{start: now, mark: now}
+}
+
+// Step closes the current segment under the given stage name and starts the
+// next one. No-op on a nil trace.
+func (t *QueryTrace) Step(stage string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.Spans = append(t.Spans, Span{Stage: stage, Start: t.mark.Sub(t.start), Dur: now.Sub(t.mark)})
+	t.mark = now
+}
+
+// Finish stamps the total wall time. No-op on a nil trace.
+func (t *QueryTrace) Finish() {
+	if t == nil {
+		return
+	}
+	t.Wall = time.Since(t.start)
+}
+
+// String renders a one-line stage breakdown, e.g.
+// "1.2ms (cache 10µs, validate 1µs, transform 8µs, search 200µs, refine 900µs, crack 80µs)".
+func (t *QueryTrace) String() string {
+	if t == nil {
+		return "<no trace>"
+	}
+	parts := make([]string, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		parts = append(parts, fmt.Sprintf("%s %v", s.Stage, s.Dur.Round(time.Microsecond)))
+	}
+	return fmt.Sprintf("%v (%s)", t.Wall.Round(time.Microsecond), strings.Join(parts, ", "))
+}

@@ -9,6 +9,7 @@ func NewBulkLoaded(ps *PointSet, opt Options) *Tree {
 	opt = opt.normalize()
 	t := &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), initialN: ps.N()}
 	if ps.N() == 0 {
+		t.created++
 		t.root = &node{mbr: EmptyRect(ps.Dim), leafIDs: []int32{}}
 		return t
 	}
@@ -20,6 +21,7 @@ func NewBulkLoaded(ps *PointSet, opt Options) *Tree {
 // ~equal size, recurse into each.
 func (t *Tree) buildFull(p *partition) *node {
 	p.computeMBR(t.ps)
+	t.created++
 	if p.count() <= t.opt.LeafCap {
 		nd := &node{part: p}
 		t.toLeaf(nd)

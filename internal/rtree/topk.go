@@ -268,6 +268,7 @@ func (t *Tree) collectLevel(p *partition, m int, splitsOf map[*partition]*splitR
 // nodes.
 func (t *Tree) materialize(p *partition, splitsOf map[*partition]*splitRec) *node {
 	p.computeMBR(t.ps)
+	t.created++
 	nd := &node{mbr: p.mbr}
 	if splitsOf[p] == nil || p.count() <= t.opt.LeafCap {
 		nd.part = p

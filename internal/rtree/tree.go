@@ -72,7 +72,12 @@ type Tree struct {
 
 	splits   int          // binary splits applied to the tree
 	explored int          // hypothetical splits evaluated by the top-k search
+	created  int          // tree nodes created (cracking, bulk build, root)
 	queries  atomic.Int64 // query count (Crack invocations + NoteQuery calls)
+
+	// access, when set, receives node-access counts from WalkWithin and
+	// NearestSeeds (see AccessCounters).
+	access *AccessCounters
 
 	// deleted tracks tombstoned point ids (see Delete): their coordinates
 	// remain in the PointSet but they are no longer referenced by any
@@ -100,6 +105,7 @@ func (t *Tree) ensureRoot() {
 	if t.root != nil {
 		return
 	}
+	t.created++
 	if t.initialN == 0 {
 		t.root = &node{mbr: EmptyRect(t.ps.Dim), leafIDs: []int32{}}
 		return
@@ -231,6 +237,7 @@ func (t *Tree) crackGreedy(nd *node, q Rect) {
 	nd.children = make([]*node, 0, len(parts))
 	for _, cp := range parts {
 		cp.computeMBR(t.ps)
+		t.created++
 		child := &node{mbr: cp.mbr, part: cp}
 		if cp.count() <= t.opt.LeafCap {
 			t.toLeaf(child)
@@ -330,6 +337,7 @@ func (t *Tree) NearestSeeds(q []float64, k int) []int32 {
 		return nil
 	}
 	t.ensureRoot()
+	var accIn, accLf, accPd uint64
 	out := make([]int32, 0, k)
 	pq := &nodeHeap{}
 	heap.Push(pq, nodeDist{n: t.root, d: t.root.mbr.MinSqDist(q)})
@@ -337,15 +345,19 @@ func (t *Tree) NearestSeeds(q []float64, k int) []int32 {
 		nd := heap.Pop(pq).(nodeDist).n
 		switch {
 		case nd.isInternal():
+			accIn++
 			for _, c := range nd.children {
 				heap.Push(pq, nodeDist{n: c, d: c.mbr.MinSqDist(q)})
 			}
 		case nd.isLeaf():
+			accLf++
 			out = appendNearLeaf(t.ps, out, nd.leafIDs, q, k)
 		default:
+			accPd++
 			out = appendNearPending(t.ps, out, nd.part, q, k)
 		}
 	}
+	t.access.flush(accIn, accLf, accPd)
 	return out
 }
 

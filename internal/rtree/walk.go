@@ -23,6 +23,10 @@ func (t *Tree) WalkAscending(q []float64, visit func(id int32, sqDist float64) b
 // growing it mid-walk is not supported.
 func (t *Tree) WalkWithin(q []float64, bound func() float64, visit func(id int32, sqDist float64) bool) {
 	t.ensureRoot()
+	// Node accesses are counted locally and flushed once per walk, so the
+	// Lemma 3 cost counters add no atomics to the per-node fast path.
+	var accIn, accLf, accPd uint64
+	defer func() { t.access.flush(accIn, accLf, accPd) }()
 	pq := walkHeap{{n: t.root, d: t.root.mbr.MinSqDist(q)}}
 	for len(pq) > 0 {
 		it := heap.Pop(&pq).(walkItem)
@@ -38,14 +42,17 @@ func (t *Tree) WalkWithin(q []float64, bound func() float64, visit func(id int32
 		}
 		switch {
 		case it.n.isInternal():
+			accIn++
 			for _, c := range it.n.children {
 				if d := c.mbr.MinSqDist(q); d <= b {
 					heap.Push(&pq, walkItem{n: c, d: d})
 				}
 			}
 		case it.n.isLeaf():
+			accLf++
 			pushPoints(t.ps, &pq, it.n.leafIDs, q, b)
 		default:
+			accPd++
 			pushPoints(t.ps, &pq, it.n.part.ids(), q, b)
 		}
 	}

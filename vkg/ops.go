@@ -1,0 +1,55 @@
+package vkg
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+
+	"vkgraph/internal/obs"
+)
+
+// OpsHandler returns the ops HTTP handler for this VKG:
+//
+//	/metrics      Prometheus text exposition of every engine counter
+//	/debug/vars   expvar JSON (the registry is published under "vkg")
+//	/debug/pprof/ the standard pprof profile handlers
+//	/slowlog      recent slow queries with stage breakdowns, as JSON
+//
+// Mount it on an existing server, or use ServeOps to run a dedicated
+// listener.
+func (v *VKG) OpsHandler() http.Handler {
+	return obs.Handler(v.eng.Registry(), v.eng.SlowLog())
+}
+
+// OpsServer is a running ops HTTP listener (see ServeOps).
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the listener's address — useful with ":0" to discover the
+// chosen port.
+func (s *OpsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, waiting briefly for in-flight scrapes.
+func (s *OpsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// ServeOps starts an ops HTTP server on addr (e.g. "localhost:8372" or
+// ":0" for an ephemeral port) serving OpsHandler and returns once the
+// listener is accepting. The server runs until Close. Serving ops is
+// optional and has no effect on query cost: the hot-path counters are
+// always-on atomics, and the registry is only read at scrape time.
+func (v *VKG) ServeOps(addr string) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: v.OpsHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &OpsServer{ln: ln, srv: srv}, nil
+}

@@ -53,6 +53,9 @@ type Query struct {
 	// ProbThreshold overrides p_tau for this Aggregate query when > 0. It
 	// takes precedence over Agg.ProbThreshold.
 	ProbThreshold float64
+	// Trace requests a per-stage timing breakdown in Result.Trace. The cost
+	// is two timestamps per stage; leave it off for throughput runs.
+	Trace bool
 }
 
 // Result is the answer to one Query: TopK is set for top-k queries, Agg for
@@ -62,6 +65,9 @@ type Result struct {
 	TopK *TopKResult
 	Agg  *AggResult
 	Err  error
+	// Trace is the stage breakdown when the query asked for one (or the
+	// slow-query log forced tracing on); nil otherwise.
+	Trace *QueryTrace
 }
 
 // Do answers one query, honoring ctx cancellation. Repeat top-k queries on
@@ -121,6 +127,7 @@ func (v *VKG) toRequest(q Query) (core.Request, error) {
 		Rel:     q.Relation,
 		Eps:     q.Epsilon,
 		NoIndex: v.noIdx,
+		Trace:   q.Trace,
 	}
 	if q.Epsilon < 0 {
 		return req, fmt.Errorf("vkg: negative epsilon %v", q.Epsilon)
@@ -163,7 +170,7 @@ func (v *VKG) convertResponse(resp core.Response) (*Result, error) {
 	if resp.Err != nil {
 		return nil, resp.Err
 	}
-	res := &Result{}
+	res := &Result{Trace: convertTrace(resp.Trace)}
 	if resp.TopK != nil {
 		res.TopK = v.convert(resp.TopK)
 	}

@@ -50,6 +50,14 @@
 // wrappers over the same path, so single-query callers share the cache and
 // the validation.
 //
+// # Observability
+//
+// Engine counters are always on and lock-free. Metrics returns a structured
+// snapshot (latency percentiles, cache effectiveness, index node accesses,
+// cracking activity); Query.Trace asks for a per-query stage breakdown in
+// Result.Trace; ServeOps starts an HTTP listener with Prometheus /metrics,
+// expvar, pprof, and a slow-query log (see SetSlowQueryThreshold).
+//
 // # Concurrency and durability
 //
 // A built VKG is safe for concurrent use: queries, aggregates, AddFact,
@@ -127,6 +135,10 @@ func (gr *Graph) NumTriples() int { return gr.g.NumTriples() }
 // HasEdge reports whether (h, r, t) is a known fact (an edge of E, not a
 // prediction).
 func (gr *Graph) HasEdge(h EntityID, r RelationID, t EntityID) bool { return gr.g.HasEdge(h, r, t) }
+
+// AttrNames returns the names of every attribute column set on the graph,
+// ready to pass to WithAttributes.
+func (gr *Graph) AttrNames() []string { return gr.g.AttrNames() }
 
 // Internal returns the underlying store, for use by this module's
 // command-line tools and experiments.
@@ -225,6 +237,12 @@ func WithEmbedding(p EmbeddingParams) Option { return func(o *options) { o.emb =
 // the vkg-train tool). The model must match the graph's entity/relation
 // counts.
 func WithPretrainedModel(m *embedding.Model) Option { return func(o *options) { o.model = m } }
+
+// WithModelFrom reuses the trained embedding of an existing VKG, skipping
+// training. It is how comparison runs build several index backends over the
+// same graph and the same embedding so the measured differences come from
+// the index alone. The source must have been built from the same graph.
+func WithModelFrom(src *VKG) Option { return func(o *options) { o.model = src.eng.Model() } }
 
 // WithAttributes registers graph attribute columns with the index so they
 // can be aggregated. Attributes named in aggregate queries must be listed
