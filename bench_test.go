@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"vkgraph/internal/core"
 	"vkgraph/internal/experiments"
@@ -281,11 +282,13 @@ func benchAggSweep(b *testing.B, dataset string, kind core.AggKind, attr string)
 
 // benchBatchSetup builds a VKG over the Movie dataset through the public
 // API and a top-k workload in Query form, with the cracking index converged
-// so the serial/batch comparison measures serving, not splitting.
-func benchBatchSetup(b *testing.B, n int) (*vkg.VKG, []vkg.Query) {
+// so the serial/batch comparison measures serving, not splitting. shards
+// selects the spatial shard count (1 = unsharded).
+func benchBatchSetup(b *testing.B, n, shards int) (*vkg.VKG, []vkg.Query) {
 	b.Helper()
 	ds := mustDataset(b, "movie")
-	v, err := vkg.Build(vkg.WrapGraph(ds.G), vkg.WithPretrainedModel(ds.M), vkg.WithSeed(1))
+	v, err := vkg.Build(vkg.WrapGraph(ds.G), vkg.WithPretrainedModel(ds.M), vkg.WithSeed(1),
+		vkg.WithShards(shards))
 	if err != nil {
 		b.Fatalf("Build: %v", err)
 	}
@@ -312,8 +315,8 @@ func benchBatchSetup(b *testing.B, n int) (*vkg.VKG, []vkg.Query) {
 // with the result cache hot. Queries/s is reported as a metric.
 func BenchmarkBatchServing(b *testing.B) {
 	const n = 512
-	pass := func(b *testing.B, run func(v *vkg.VKG, queries []vkg.Query)) {
-		v, queries := benchBatchSetup(b, n)
+	pass := func(b *testing.B, shards int, run func(v *vkg.VKG, queries []vkg.Query)) {
+		v, queries := benchBatchSetup(b, n, shards)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			run(v, queries)
@@ -322,7 +325,7 @@ func BenchmarkBatchServing(b *testing.B) {
 		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 	}
 	b.Run("serial", func(b *testing.B) {
-		pass(b, func(v *vkg.VKG, queries []vkg.Query) {
+		pass(b, 1, func(v *vkg.VKG, queries []vkg.Query) {
 			v.ResetCache()
 			for _, q := range queries {
 				var err error
@@ -337,18 +340,18 @@ func BenchmarkBatchServing(b *testing.B) {
 			}
 		})
 	})
-	b.Run("batch", func(b *testing.B) {
-		pass(b, func(v *vkg.VKG, queries []vkg.Query) {
-			v.ResetCache()
-			for i, res := range v.DoBatch(context.Background(), queries) {
-				if res.Err != nil {
-					b.Fatalf("batch query %d: %v", i, res.Err)
-				}
+	batch := func(v *vkg.VKG, queries []vkg.Query) {
+		v.ResetCache()
+		for i, res := range v.DoBatch(context.Background(), queries) {
+			if res.Err != nil {
+				b.Fatalf("batch query %d: %v", i, res.Err)
 			}
-		})
-	})
+		}
+	}
+	b.Run("batch", func(b *testing.B) { pass(b, 1, batch) })
+	b.Run("batch-sharded4", func(b *testing.B) { pass(b, 4, batch) })
 	b.Run("cached", func(b *testing.B) {
-		pass(b, func(v *vkg.VKG, queries []vkg.Query) {
+		pass(b, 1, func(v *vkg.VKG, queries []vkg.Query) {
 			for i, res := range v.DoBatch(context.Background(), queries) {
 				if res.Err != nil {
 					b.Fatalf("cached query %d: %v", i, res.Err)
@@ -356,6 +359,50 @@ func BenchmarkBatchServing(b *testing.B) {
 			}
 		})
 	})
+	// The cold variants rebuild the engine every iteration, so each pass pays
+	// the full cracking cost; the reported crack-lock metrics are the
+	// serialization the sharding is meant to kill (per-shard wait/hold sums;
+	// for shards=1 the single shard IS the global crack lock).
+	cold := func(b *testing.B, shards int) {
+		ds := mustDataset(b, "movie")
+		workload := experiments.Workload(ds.G, n, 99)
+		queries := make([]vkg.Query, len(workload))
+		for i, q := range workload {
+			dir := vkg.Tails
+			if !q.Tail {
+				dir = vkg.Heads
+			}
+			queries[i] = vkg.Query{Kind: vkg.TopK, Dir: dir, Entity: q.E, Relation: q.R, K: 10}
+		}
+		var wait, hold time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			v, err := vkg.Build(vkg.WrapGraph(ds.G), vkg.WithPretrainedModel(ds.M), vkg.WithSeed(1),
+				vkg.WithShards(shards))
+			if err != nil {
+				b.Fatalf("Build: %v", err)
+			}
+			b.StartTimer()
+			for j, res := range v.DoBatchWorkers(context.Background(), queries, 8) {
+				if res.Err != nil {
+					b.Fatalf("cold query %d: %v", j, res.Err)
+				}
+			}
+			b.StopTimer()
+			m := v.Metrics()
+			for s := 0; s < m.Shards; s++ {
+				wait += time.Duration(m.ShardWriteLockWait[s].Count) * m.ShardWriteLockWait[s].Mean
+				hold += time.Duration(m.ShardCrackLock[s].Count) * m.ShardCrackLock[s].Mean
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		b.ReportMetric(wait.Seconds()/float64(b.N), "lock-wait-s/op")
+		b.ReportMetric(hold.Seconds()/float64(b.N), "lock-hold-s/op")
+	}
+	b.Run("cold-shards1", func(b *testing.B) { cold(b, 1) })
+	b.Run("cold-shards4", func(b *testing.B) { cold(b, 4) })
 }
 
 func BenchmarkFig12Count(b *testing.B)         { benchAggSweep(b, "freebase", core.Count, "popularity") }

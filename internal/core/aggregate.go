@@ -188,12 +188,19 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 	q2 := e.tf.Apply(q1)
 	tr.Step(obs.StageTransform)
 
+	// The walks below (nearest probe, ball collection, contour statistics)
+	// read every shard tree, so all shard read locks are held from here
+	// until the ball is collected; they must be released before finishQuery,
+	// which takes shard write locks.
+	e.rlockShards()
+
 	// The ball radius: the closest entity has probability 1 at distance d1
 	// and probabilities decay as d1/d, so probability >= pTau within
 	// radius d1/pTau (in S1; expanded by (1+eps) to survive the JL
 	// distortion when measured in S2).
 	d1 := e.nearestDist(q1, q2, skip)
 	if math.IsInf(d1, 1) {
+		e.runlockShards()
 		e.mu.RUnlock()
 		return &AggResult{}, nil // no candidate entities at all
 	}
@@ -203,16 +210,14 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 	rTau := d1 / pTau
 	r2 := rTau * (1 + eps)
 
-	// Collect the ball in ascending S2 distance (the access order). For
-	// attribute aggregates only entities bearing the attribute are
-	// relevant — ball members of other types (e.g. users in a movie-year
-	// query) can never contribute a value, so they are excluded from both
-	// the sample and the probability mass, matching the exact path.
+	// Collect the ball in ascending S2 distance (the access order), merged
+	// across every shard the ball overlaps. For attribute aggregates only
+	// entities bearing the attribute are relevant — ball members of other
+	// types (e.g. users in a movie-year query) can never contribute a
+	// value, so they are excluded from both the sample and the probability
+	// mass, matching the exact path.
 	var ball []ballPoint
-	e.tree.WalkWithin(q2, func() float64 { return r2 * r2 }, func(id int32, sqd float64) bool {
-		if sqd > r2*r2 {
-			return false
-		}
+	rtree.WalkTreesWithin(e.trees, q2, func() float64 { return r2 * r2 }, func(id int32, sqd float64) bool {
 		eid := kg.EntityID(id)
 		if skip(eid) {
 			return true
@@ -274,11 +279,12 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 	// v_m: prefer contour-element statistics (max |v| among elements
 	// overlapping the ball), fall back to the sample maximum.
 	vm := e.tailMaxAbs(q2, r2, attrIdx, ball[:a], q.Kind)
+	e.runlockShards()
 	tr.Step(obs.StageRefine)
 
 	// Crack the index for this query region: aggregate queries shape the
 	// index exactly as top-k queries do. finishQuery releases the read lock
-	// and only takes the write lock when the region still needs splits.
+	// and only write-locks the shards the region still needs to split.
 	e.finishQuery(rtree.BallRect(q2, r2), true, tr)
 
 	res := &AggResult{Accessed: a, BallSize: b, VM: vm}
@@ -298,15 +304,40 @@ func (e *Engine) aggregate(q1 []float64, q AggQuery, skip func(kg.EntityID) bool
 			res.Value = sum / cnt
 		}
 	case Max:
+		// Combine the sample estimate with the certain element bound only
+		// when each actually exists: an empty sample must not inject a
+		// spurious 0 (which would dominate an all-negative MAX), and an
+		// absent element bound (-Inf) must not drag a real estimate down.
+		est, ok := estimateMax(ball[:a], false)
 		e.mu.RLock()
+		e.rlockShards()
 		eb := e.elementBound(q2, r2, attrIdx, false)
+		e.runlockShards()
 		e.mu.RUnlock()
-		res.Value = math.Max(estimateMax(ball[:a], false), eb)
+		switch {
+		case ok && !math.IsInf(eb, -1):
+			res.Value = math.Max(est, eb)
+		case ok:
+			res.Value = est
+		case !math.IsInf(eb, -1):
+			res.Value = eb
+		}
+		// Neither: no sample and no covered element — res stays empty.
 	case Min:
+		est, ok := estimateMax(ball[:a], true)
 		e.mu.RLock()
+		e.rlockShards()
 		eb := e.elementBound(q2, r2, attrIdx, true)
+		e.runlockShards()
 		e.mu.RUnlock()
-		res.Value = math.Min(estimateMax(ball[:a], true), eb)
+		switch {
+		case ok && !math.IsInf(eb, 1):
+			res.Value = math.Min(est, eb)
+		case ok:
+			res.Value = est
+		case !math.IsInf(eb, 1):
+			res.Value = eb
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown aggregate kind %v", q.Kind)
 	}
@@ -328,7 +359,7 @@ func (e *Engine) elementBound(q2 []float64, radius float64, attrIdx int, isMin b
 	if attrIdx < 0 {
 		return best
 	}
-	for _, s := range e.tree.ContourOverlap(q2, radius) {
+	for _, s := range e.contourOverlap(q2, radius) {
 		if s.MaxDist > radius {
 			continue // only partially inside; membership uncertain
 		}
@@ -360,26 +391,27 @@ func jlInverseBias(alpha int) float64 {
 }
 
 // nearestDist returns the S1 distance of the closest non-skipped entity to
-// q1, using the index seeds (and widening until one is found).
+// q1, probing the first few non-skipped points of the merged S2 walk. The
+// walk order is structure-independent, so sharded and unsharded engines
+// probe the same points and derive the same ball radius. The caller must
+// hold the engine read lock and every shard read lock.
 func (e *Engine) nearestDist(q1, q2 []float64, skip func(kg.EntityID) bool) float64 {
-	want := 8
-	for {
-		seeds := e.tree.NearestSeeds(q2, want)
-		best := math.Inf(1)
-		for _, id := range seeds {
+	const probe = 8
+	best := math.Inf(1)
+	seen := 0
+	rtree.WalkTreesWithin(e.trees, q2, func() float64 { return math.Inf(1) },
+		func(id int32, _ float64) bool {
 			eid := kg.EntityID(id)
 			if skip(eid) {
-				continue
+				return true
 			}
 			if d := e.s1Dist(q1, eid); d < best {
 				best = d
 			}
-		}
-		if !math.IsInf(best, 1) || len(seeds) >= e.ps.N() {
-			return best
-		}
-		want *= 4
-	}
+			seen++
+			return seen < probe
+		})
+	return best
 }
 
 // tailMaxAbs estimates v_m, the largest |value| among unaccessed ball
@@ -391,7 +423,7 @@ func (e *Engine) tailMaxAbs(q2 []float64, r2 float64, attrIdx int, accessed []ba
 		return 1
 	}
 	vm := 0.0
-	for _, s := range e.tree.ContourOverlap(q2, r2) {
+	for _, s := range e.contourOverlap(q2, r2) {
 		if attrIdx < len(s.Attrs) && s.Attrs[attrIdx].Count > 0 {
 			if s.Attrs[attrIdx].MaxAbs > vm {
 				vm = s.Attrs[attrIdx].MaxAbs
@@ -449,8 +481,12 @@ func estimateCount(ball []ballPoint, a, b int) float64 {
 }
 
 // estimateMax implements Equation 4. With neg it estimates MIN by negating
-// values. Points without the attribute are ignored.
-func estimateMax(accessed []ballPoint, neg bool) float64 {
+// values. Points without the attribute are ignored. The second return is
+// false when no accessed point carried a value — there is no sample, and 0
+// would be a fabricated estimate (wrong for any all-negative MAX or
+// all-positive MIN); callers must fall back to another bound or report an
+// empty result.
+func estimateMax(accessed []ballPoint, neg bool) (float64, bool) {
 	type vp struct{ v, p float64 }
 	items := make([]vp, 0, len(accessed))
 	var sumP float64
@@ -470,7 +506,7 @@ func estimateMax(accessed []ballPoint, neg bool) float64 {
 		}
 	}
 	if len(items) == 0 {
-		return 0
+		return 0, false
 	}
 	// E[M_S] = sum_i u_i * p_i * prod_{j<i} (1 - p_j) over the values in
 	// non-increasing order, plus the residual mass assigned to the sample
@@ -491,9 +527,9 @@ func estimateMax(accessed []ballPoint, neg bool) float64 {
 		est = (ems-minV)*(1+1/sumP) + minV
 	}
 	if neg {
-		return -est
+		return -est, true
 	}
-	return est
+	return est, true
 }
 
 func clampProb(p float64) float64 {

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestEstimateMaxSampleHandling pins the Equation 4 estimator's empty-sample
+// contract: no accessed point with a value means no estimate (ok=false), not
+// a fabricated 0 — a 0 would dominate any all-negative MAX (or all-positive
+// MIN) it is later combined with.
+func TestEstimateMaxSampleHandling(t *testing.T) {
+	if v, ok := estimateMax(nil, false); ok || v != 0 {
+		t.Fatalf("empty sample: got (%v, %v), want (0, false)", v, ok)
+	}
+	// Points that were accessed but carry no attribute value are not a sample
+	// either.
+	if _, ok := estimateMax([]ballPoint{{val: 5, prob: 1}}, false); ok {
+		t.Fatal("valueless sample reported ok")
+	}
+
+	// An all-negative sample must produce a negative MAX estimate.
+	neg := []ballPoint{
+		{val: -3, prob: 1, has: true},
+		{val: -7, prob: 0.5, has: true},
+	}
+	est, ok := estimateMax(neg, false)
+	if !ok {
+		t.Fatal("non-empty sample reported not ok")
+	}
+	if est >= 0 {
+		t.Fatalf("MAX of all-negative sample = %v, want < 0", est)
+	}
+
+	// Symmetrically, an all-positive sample must produce a positive MIN.
+	pos := []ballPoint{
+		{val: 3, prob: 1, has: true},
+		{val: 7, prob: 0.5, has: true},
+	}
+	est, ok = estimateMax(pos, true)
+	if !ok || est <= 0 {
+		t.Fatalf("MIN of all-positive sample = (%v, %v), want positive", est, ok)
+	}
+}
+
+// TestAggregateMaxMinNegativeValues runs the full MAX/MIN path over an
+// attribute column whose values are all far below zero. The regression being
+// pinned: a 0 injected anywhere along the estimate/element-bound combination
+// would surface here as a MAX of 0 instead of a plausibly negative year.
+func TestAggregateMaxMinNegativeValues(t *testing.T) {
+	eng, g := testEngine(t, Crack, defaultTestParams())
+	for _, m := range g.EntitiesOfType("movie") {
+		if y, ok := g.Attr("year", m); ok {
+			g.SetAttr("year", m, y-10000)
+		}
+	}
+	col, ok := g.AttrColumn("year")
+	if !ok {
+		t.Fatal("year column missing")
+	}
+	eng.ps.RefreshAttr("year", col)
+
+	likes, _ := g.RelationByName("likes")
+	for _, u := range g.EntitiesOfType("user")[:5] {
+		maxRes, err := eng.AggregateTails(u, likes, AggQuery{Kind: Max, Attr: "year"})
+		if err != nil {
+			t.Fatalf("Max: %v", err)
+		}
+		minRes, err := eng.AggregateTails(u, likes, AggQuery{Kind: Min, Attr: "year"})
+		if err != nil {
+			t.Fatalf("Min: %v", err)
+		}
+		if maxRes.BallSize == 0 {
+			continue // empty ball legitimately yields an empty result
+		}
+		if maxRes.Value >= 0 {
+			t.Fatalf("user %d: MAX of all-negative years = %v, want < 0", u, maxRes.Value)
+		}
+		if minRes.Value >= 0 {
+			t.Fatalf("user %d: MIN of all-negative years = %v, want < 0", u, minRes.Value)
+		}
+		if maxRes.Value < minRes.Value {
+			t.Fatalf("user %d: MAX %v < MIN %v", u, maxRes.Value, minRes.Value)
+		}
+		if maxRes.Value < -8200 || maxRes.Value > -7800 {
+			t.Fatalf("user %d: MAX year %v implausible for the shifted range", u, maxRes.Value)
+		}
+	}
+}

@@ -148,9 +148,9 @@ func (e *Engine) aggregateExact(q1 []float64, q AggQuery, skip func(kg.EntityID)
 			res.Value = sum / cnt
 		}
 	case Max:
-		res.Value = estimateMax(ball, false)
+		res.Value, _ = estimateMax(ball, false)
 	case Min:
-		res.Value = estimateMax(ball, true)
+		res.Value, _ = estimateMax(ball, true)
 	}
 	return res, nil
 }

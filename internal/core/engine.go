@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,49 @@ type Params struct {
 	// Attrs are graph attribute columns registered with the index so
 	// contour elements expose min/max statistics (the v_m of Theorem 4).
 	Attrs []string
+	// Shards is the number of spatial shards the cracking index is split
+	// into (rounded down to a power of two, capped at 64). Zero derives a
+	// default from GOMAXPROCS. Bulk mode always uses a single shard: a
+	// fully built tree never cracks, so there is no write-lock traffic to
+	// spread. NewEngine records the resolved value back into Params.
+	Shards int
+}
+
+// maxShards caps the shard count: beyond this, per-query overhead (one MBR
+// probe and one RLock per shard) outweighs any added write concurrency.
+const maxShards = 64
+
+// resolveShards normalizes Params.Shards: Bulk mode forces one shard, an
+// explicit request rounds down to a power of two in [1, maxShards], and zero
+// derives the largest power of two <= GOMAXPROCS, capped at 16.
+func resolveShards(n int, mode IndexMode) int {
+	if mode == Bulk {
+		return 1
+	}
+	if n <= 0 {
+		limit := runtime.GOMAXPROCS(0)
+		if limit > 16 {
+			limit = 16
+		}
+		n = limit
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// shardBits returns log2(n) for the power-of-two shard count n.
+func shardBits(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
 }
 
 // DefaultParams returns the default configuration: alpha = 3 as in the
@@ -58,6 +102,14 @@ type Params struct {
 // reported >= 0.95 band at alpha = 3), p_tau = 0.05.
 func DefaultParams() Params {
 	return Params{Alpha: 3, Eps: 0.75, PTau: 0.05, Seed: 1, Index: rtree.DefaultOptions()}
+}
+
+// engineShard is one spatial shard of the index: a cracked tree over a
+// Morton-prefix cell of S2, with its own reader/writer lock so cracking one
+// region of space does not serialize queries against the others.
+type engineShard struct {
+	mu   sync.RWMutex
+	tree *rtree.Tree
 }
 
 // Engine answers predictive top-k and aggregate queries over a virtual
@@ -69,15 +121,29 @@ func DefaultParams() Params {
 // methods: TopKTails/TopKHeads, AggregateTails/AggregateHeads (and their
 // NoIndex/Exact variants), AddFact, InsertEntity, Save, and IndexStats.
 // The paper's core idea makes even read-only-looking queries potential
-// writers — cracking means queries mutate the index — so the discipline is:
+// writers — cracking means queries mutate the index — so the locking is
+// two-level:
 //
-//   - queries run under a read lock and, after computing their answer,
-//     probe the index with rtree.NeedsCrack; only when the query region
-//     actually requires new splits do they retake the lock in write mode
-//     to crack. Warm regions (the common case once the index converges,
-//     Figs. 9-11) never serialize.
-//   - AddFact and InsertEntity are writers and fully serialize.
-//   - Save runs under the read lock: snapshots don't block queries.
+//   - e.mu, the engine lock, guards everything that grows or is replaced
+//     wholesale: the graph, the model, the layout, the point set, and the
+//     lazy materialization of shard roots. Queries hold it in read mode for
+//     their entire lifetime; AddFact and InsertEntity hold it in write mode
+//     and therefore exclude all queries (and all shard-lock holders, since
+//     shard locks are only ever taken under e.mu.RLock).
+//   - each shard has its own RWMutex guarding its tree's structure. Walks
+//     (top-k, aggregate balls, contour scans) take every shard's read lock;
+//     cracking probes each shard with rtree.NeedsCrack under its read lock
+//     and write-locks only the shards whose pending elements the query
+//     region actually overlaps — one at a time, in ascending shard order,
+//     with a double-check after acquiring the write lock. Warm regions (the
+//     common case once the index converges, Figs. 9-11) never serialize,
+//     and a cold region cracks without blocking queries in other shards.
+//   - Save runs under the engine read lock plus all shard read locks:
+//     snapshots don't block queries.
+//
+// Lock order is always e.mu before shard locks, and shard locks in
+// ascending index order with at most one held in write mode, so the
+// hierarchy is acyclic and deadlock-free.
 //
 // The raw accessors (Graph, Model, Tree, Transform) expose unsynchronized
 // internals for the module's own single-threaded tools; do not mix them
@@ -91,8 +157,17 @@ type Engine struct {
 	m      *embedding.Model
 	tf     *jl.Transform
 	ps     *rtree.PointSet
-	tree   *rtree.Tree
 	layout *s1Layout // S2-Morton-ordered copy of the S1 vectors
+
+	// router maps S2 points to shards by Morton prefix; shards holds one
+	// locked cracked tree per cell, and trees caches the bare tree slice in
+	// shard order for the merged walks. idxQueries counts indexed queries
+	// engine-wide (a query that overlaps several shards is still one query,
+	// so per-tree counters cannot be summed).
+	router     *rtree.ShardRouter
+	shards     []*engineShard
+	trees      []*rtree.Tree
+	idxQueries atomic.Int64
 
 	params Params
 	mode   IndexMode
@@ -120,15 +195,61 @@ type Engine struct {
 }
 
 // initExec sets up the batch-executor state (metrics, result cache,
-// singleflight map); called by both NewEngine and LoadEngine. The tree, when
-// already present (the load path), is wired to the node-access counters;
-// NewEngine wires it after choosing the index mode.
+// singleflight map) and wires every shard tree to the node-access counters;
+// called by both NewEngine and LoadEngine after the shards exist (the
+// per-shard metric histograms are sized from len(e.shards)).
 func (e *Engine) initExec() {
 	e.met = newEngineMetrics(e)
 	e.cache = newResultCache(defaultCacheSize, e.met.cacheHits, e.met.cacheMisses)
 	e.inflight = make(map[topkKey]*inflightCall)
-	if e.tree != nil {
-		e.tree.SetAccessCounters(&e.met.nodeAccess)
+	for _, sh := range e.shards {
+		sh.tree.SetAccessCounters(&e.met.nodeAccess)
+	}
+}
+
+// buildIndex constructs the router and the per-shard trees from the current
+// point set, honoring the (already resolved) Params.Shards. The single-shard
+// case keeps the classical whole-set constructors so an unsharded engine is
+// bit-for-bit the pre-sharding engine; with more shards the initial points
+// are bucketed by Morton prefix and each bucket becomes an independent
+// cracking tree over the shared PointSet.
+func (e *Engine) buildIndex() {
+	n := e.params.Shards
+	e.router = rtree.NewShardRouter(e.ps, e.ps.N(), shardBits(n))
+	e.shards = make([]*engineShard, n)
+	if n == 1 {
+		var t *rtree.Tree
+		if e.mode == Bulk {
+			t = rtree.NewBulkLoaded(e.ps, e.params.Index)
+		} else {
+			t = rtree.NewCracking(e.ps, e.params.Index)
+		}
+		e.shards[0] = &engineShard{tree: t}
+	} else {
+		buckets := e.router.Assign(e.ps, e.ps.N())
+		for i := range e.shards {
+			e.shards[i] = &engineShard{tree: rtree.NewCrackingSubset(e.ps, e.params.Index, buckets[i])}
+		}
+	}
+	e.trees = make([]*rtree.Tree, n)
+	for i, sh := range e.shards {
+		e.trees[i] = sh.tree
+	}
+}
+
+// rlockShards acquires every shard's read lock in ascending order; the
+// caller must hold e.mu.RLock. Merged walks hold all of them because a
+// best-first search cannot know in advance which shards its shrinking bound
+// will touch.
+func (e *Engine) rlockShards() {
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (e *Engine) runlockShards() {
+	for _, sh := range e.shards {
+		sh.mu.RUnlock()
 	}
 }
 
@@ -153,6 +274,11 @@ func NewEngine(g *kg.Graph, m *embedding.Model, mode IndexMode, p Params) (*Engi
 		p.PTau = 0.05
 	}
 
+	if mode != Crack && mode != Bulk {
+		return nil, fmt.Errorf("core: unknown index mode %d", mode)
+	}
+	p.Shards = resolveShards(p.Shards, mode)
+
 	g.Freeze() // idempotent; sorts adjacency for the binary-search filters
 
 	tf := jl.New(m.Dim, p.Alpha, p.Seed)
@@ -168,16 +294,8 @@ func NewEngine(g *kg.Graph, m *embedding.Model, mode IndexMode, p Params) (*Engi
 
 	e := &Engine{g: g, m: m, tf: tf, ps: ps, params: p, mode: mode,
 		layout: newS1Layout(m, coords, p.Alpha)}
+	e.buildIndex()
 	e.initExec()
-	switch mode {
-	case Crack:
-		e.tree = rtree.NewCracking(ps, p.Index)
-	case Bulk:
-		e.tree = rtree.NewBulkLoaded(ps, p.Index)
-	default:
-		return nil, fmt.Errorf("core: unknown index mode %d", mode)
-	}
-	e.tree.SetAccessCounters(&e.met.nodeAccess)
 	return e, nil
 }
 
@@ -190,8 +308,15 @@ func (e *Engine) Model() *embedding.Model { return e.m }
 // Transform returns the S1 -> S2 JL transform.
 func (e *Engine) Transform() *jl.Transform { return e.tf }
 
-// Tree returns the S2 index (for stats and tests).
-func (e *Engine) Tree() *rtree.Tree { return e.tree }
+// Tree returns the S2 index of the first shard (for stats and tests); with
+// an unsharded engine (Params.Shards == 1) this is the whole index.
+func (e *Engine) Tree() *rtree.Tree { return e.shards[0].tree }
+
+// NumShards returns the number of spatial shards the index is split into.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Router returns the Morton-prefix shard router (for tests).
+func (e *Engine) Router() *rtree.ShardRouter { return e.router }
 
 // Params returns the engine parameters.
 func (e *Engine) Params() Params { return e.params }
@@ -215,68 +340,148 @@ func (e *Engine) EntityName(id kg.EntityID) string {
 	return e.g.Entity(id).Name
 }
 
-// IndexStats reports the index structure counters (Figs. 9-11).
+// IndexStats reports the index structure counters (Figs. 9-11), summed over
+// all shards (Height is the maximum; Queries is the engine-wide count, since
+// a query that overlapped several shards is still one query).
 func (e *Engine) IndexStats() rtree.Stats {
 	e.prepareIndex()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.tree.Stats()
+	e.rlockShards()
+	defer e.runlockShards()
+	st := e.shards[0].tree.Stats()
+	for _, sh := range e.shards[1:] {
+		s := sh.tree.Stats()
+		st.InternalNodes += s.InternalNodes
+		st.LeafNodes += s.LeafNodes
+		st.PendingNodes += s.PendingNodes
+		st.TotalNodes += s.TotalNodes
+		st.BinarySplits += s.BinarySplits
+		st.ExploredSplits += s.ExploredSplits
+		st.SizeBytes += s.SizeBytes
+		st.Points += s.Points
+		if s.Height > st.Height {
+			st.Height = s.Height
+		}
+	}
+	st.Queries = int(e.idxQueries.Load())
+	return st
 }
 
-// prepareIndex materializes the lazy index root under the write lock, so
-// that everything that follows under the read lock is genuinely read-only.
-// A no-op (one atomic-free boolean check under the read lock) once the root
-// exists.
+// CheckInvariants verifies every shard's structural invariants plus the
+// cross-shard one: the shards together own exactly the point set, each point
+// in exactly one shard. Intended for tests; O(n log n).
+func (e *Engine) CheckInvariants() error {
+	e.prepareIndex()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.rlockShards()
+	defer e.runlockShards()
+	total := 0
+	for i, sh := range e.shards {
+		if err := sh.tree.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		total += sh.tree.Stats().Points
+	}
+	if total != e.ps.N() {
+		return fmt.Errorf("shards cover %d of %d points", total, e.ps.N())
+	}
+	return nil
+}
+
+// prepareIndex materializes the lazy shard roots under the engine write
+// lock, so that everything that follows under the read lock is genuinely
+// read-only (Crack's own ensureRoot is then a no-op, and never writes a root
+// pointer under a mere shard lock). A no-op once every root exists.
 func (e *Engine) prepareIndex() {
 	e.mu.RLock()
-	ready := e.tree.Ready()
+	ready := true
+	for _, sh := range e.shards {
+		if !sh.tree.Ready() {
+			ready = false
+			break
+		}
+	}
 	e.mu.RUnlock()
 	if ready {
 		return
 	}
 	e.mu.Lock()
-	e.tree.Prepare()
+	for _, sh := range e.shards {
+		sh.tree.Prepare()
+	}
 	e.mu.Unlock()
 }
 
-// finishQuery completes a query that was computed under the read lock (which
-// the caller still holds): if the query region still needs cracking, the
-// lock is retaken in write mode and the index cracked; otherwise the region
-// is warm and only the query counter is touched. The read lock is released
-// either way. Split and node-creation deltas are captured under the write
-// lock (both accessors are O(1)), so the crack counters attribute exactly
-// this query's structural work.
+// finishQuery completes a query that was computed under the engine read lock
+// (which the caller still holds, shard locks released): each shard is probed
+// with NeedsCrack under its read lock, and only shards whose pending
+// elements the query region overlaps are write-locked and cracked — one at a
+// time, re-checking under the write lock since a concurrent query may have
+// cracked the same region meanwhile. The engine read lock is released at the
+// end either way. Split and node-creation deltas are captured under the
+// shard write lock (both accessors are O(1)), so the crack counters
+// attribute exactly this query's structural work.
 func (e *Engine) finishQuery(q rtree.Rect, doCrack bool, tr *obs.QueryTrace) {
 	if !doCrack {
 		e.mu.RUnlock()
 		tr.Step(obs.StageCrack)
 		return
 	}
-	needs := e.tree.NeedsCrack(q)
-	e.mu.RUnlock()
-	if !needs {
-		e.tree.NoteQuery()
-		e.met.warmQueries.Inc()
-		tr.Step(obs.StageCrack)
-		return
+	e.idxQueries.Add(1)
+	var splits, nodes int
+	cracked := false
+	for i, sh := range e.shards {
+		sh.mu.RLock()
+		needs := sh.tree.NeedsCrack(q)
+		sh.mu.RUnlock()
+		if !needs {
+			continue
+		}
+		t0 := time.Now()
+		sh.mu.Lock()
+		wait := time.Since(t0).Seconds()
+		e.met.lockWriteWait.Observe(wait)
+		e.met.shardWriteWait[i].Observe(wait)
+		if sh.tree.NeedsCrack(q) {
+			splits0, nodes0 := sh.tree.Splits(), sh.tree.NodesCreated()
+			c0 := time.Now()
+			sh.tree.Crack(q)
+			held := time.Since(c0).Seconds()
+			splits += sh.tree.Splits() - splits0
+			nodes += sh.tree.NodesCreated() - nodes0
+			e.met.crackLock.Observe(held)
+			e.met.shardCrackLock[i].Observe(held)
+			cracked = true
+		}
+		sh.mu.Unlock()
 	}
-	t0 := time.Now()
-	e.mu.Lock()
-	e.met.lockWriteWait.Observe(time.Since(t0).Seconds())
-	splits0, nodes0 := e.tree.Splits(), e.tree.NodesCreated()
-	c0 := time.Now()
-	e.tree.Crack(q)
-	held := time.Since(c0)
-	splits, nodes := e.tree.Splits()-splits0, e.tree.NodesCreated()-nodes0
-	e.mu.Unlock()
-	e.met.crackLock.Observe(held.Seconds())
-	e.met.crackQueries.Inc()
-	e.met.crackSplits.Add(uint64(splits))
-	e.met.crackNodes.Add(uint64(nodes))
+	e.mu.RUnlock()
+	if cracked {
+		e.met.crackQueries.Inc()
+		e.met.crackSplits.Add(uint64(splits))
+		e.met.crackNodes.Add(uint64(nodes))
+	} else {
+		e.met.warmQueries.Inc()
+	}
 	if tr != nil {
 		tr.Splits, tr.NodesCreated = splits, nodes
 		tr.Step(obs.StageCrack)
 	}
+}
+
+// contourOverlap merges ContourOverlap across shards; the caller must hold
+// the engine read lock and every shard read lock.
+func (e *Engine) contourOverlap(center []float64, radius float64) []rtree.ElementSummary {
+	if len(e.shards) == 1 {
+		return e.shards[0].tree.ContourOverlap(center, radius)
+	}
+	var out []rtree.ElementSummary
+	for _, sh := range e.shards {
+		out = append(out, sh.tree.ContourOverlap(center, radius)...)
+	}
+	return out
 }
 
 // s1Dist returns the S1 distance between query point q1 and entity id,

@@ -76,7 +76,7 @@ func TestTopKTailsPrecision(t *testing.T) {
 		if avg := total / float64(n); avg < 0.9 {
 			t.Fatalf("mode %d: precision@10 = %.3f, want >= 0.9", mode, avg)
 		}
-		if err := eng.Tree().CheckInvariants(); err != nil {
+		if err := eng.CheckInvariants(); err != nil {
 			t.Fatalf("index invariants after queries: %v", err)
 		}
 	}
@@ -175,7 +175,7 @@ func TestTopKSplitChoicesMatchGreedy(t *testing.T) {
 				u, a.Predictions, b.Predictions)
 		}
 	}
-	if err := engTopK.Tree().CheckInvariants(); err != nil {
+	if err := engTopK.CheckInvariants(); err != nil {
 		t.Fatalf("invariants: %v", err)
 	}
 }

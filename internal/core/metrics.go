@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"vkgraph/internal/obs"
 	"vkgraph/internal/rtree"
 )
@@ -44,7 +46,14 @@ type engineMetrics struct {
 	sfCoalesced *obs.Counter
 
 	lockReadWait  *obs.Histogram // seconds waiting to acquire the read lock
-	lockWriteWait *obs.Histogram // seconds waiting to acquire the write lock
+	lockWriteWait *obs.Histogram // seconds waiting to acquire a write lock
+
+	// Per-shard crack-lock contention, indexed by shard. shardWriteWait[i]
+	// observes the wait to acquire shard i's write lock; shardCrackLock[i]
+	// the time holding it to crack. Their totals sum to the unlabeled
+	// crackLock/lockWriteWait crack-path observations.
+	shardWriteWait []*obs.Histogram
+	shardCrackLock []*obs.Histogram
 }
 
 func newEngineMetrics(e *Engine) *engineMetrics {
@@ -87,6 +96,14 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 
 	m.lockReadWait = r.Histogram("vkg_lock_wait_seconds", "Time waiting to acquire the engine lock, by mode.", nil, obs.Label{Key: "mode", Value: "read"})
 	m.lockWriteWait = r.Histogram("vkg_lock_wait_seconds", "Time waiting to acquire the engine lock, by mode.", nil, obs.Label{Key: "mode", Value: "write"})
+
+	m.shardWriteWait = make([]*obs.Histogram, len(e.shards))
+	m.shardCrackLock = make([]*obs.Histogram, len(e.shards))
+	for i := range e.shards {
+		lbl := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+		m.shardWriteWait[i] = r.Histogram("vkg_shard_lock_wait_seconds", "Time waiting to acquire a shard's write lock to crack, by shard.", nil, lbl)
+		m.shardCrackLock[i] = r.Histogram("vkg_shard_crack_lock_seconds", "Time holding a shard's write lock to crack, by shard.", nil, lbl)
+	}
 
 	r.GaugeFunc("vkg_graph_generation", "Graph mutation counter (AddFact/InsertEntity).", func() float64 {
 		return float64(e.gen.Load())
@@ -143,6 +160,12 @@ type MetricsSnapshot struct {
 	ReadLockWait  obs.HistSnapshot
 	WriteLockWait obs.HistSnapshot
 
+	// Shards is the spatial shard count; the two slices are indexed by
+	// shard and hold the per-shard crack-lock wait and hold times.
+	Shards         int
+	ShardWriteWait []obs.HistSnapshot
+	ShardCrackLock []obs.HistSnapshot
+
 	Generation uint64
 }
 
@@ -152,6 +175,12 @@ type MetricsSnapshot struct {
 func (e *Engine) MetricsSnapshot() MetricsSnapshot {
 	m := e.met
 	cs := e.CacheStats()
+	sww := make([]obs.HistSnapshot, len(m.shardWriteWait))
+	scl := make([]obs.HistSnapshot, len(m.shardCrackLock))
+	for i := range sww {
+		sww[i] = m.shardWriteWait[i].Snapshot()
+		scl[i] = m.shardCrackLock[i].Snapshot()
+	}
 	return MetricsSnapshot{
 		TopKQueries:        m.topkQueries.Value(),
 		AggregateQueries:   m.aggQueries.Value(),
@@ -177,6 +206,9 @@ func (e *Engine) MetricsSnapshot() MetricsSnapshot {
 		Coalesced:          m.sfCoalesced.Value(),
 		ReadLockWait:       m.lockReadWait.Snapshot(),
 		WriteLockWait:      m.lockWriteWait.Snapshot(),
+		Shards:             len(e.shards),
+		ShardWriteWait:     sww,
+		ShardCrackLock:     scl,
 		Generation:         e.gen.Load(),
 	}
 }

@@ -27,10 +27,16 @@ import (
 // damage confined to the index section degrades gracefully — the graph and
 // model are intact, so a cold cracking index is rebuilt and only the
 // workload-paid-for shape is lost (Engine.IndexRebuilt reports this).
+//
+// Format versions: version 1 stored a single tree blob in the index
+// section; version 2 stores a wireSharded envelope — the shard router's
+// Morton frame plus one embedded tree blob per shard. Version-1 snapshots
+// are still read (they load as a single-shard engine); new snapshots are
+// always written at version 2.
 
 const (
 	engineMagic   = "VKGSNAP\x00"
-	engineVersion = 1
+	engineVersion = 2
 
 	secMeta  = 1
 	secGraph = 2
@@ -46,13 +52,26 @@ type wireMeta struct {
 	Mode   IndexMode
 }
 
+// wireSharded is the version-2 index section: the routing frame (which must
+// be persisted — re-deriving it from grown data would re-route points), the
+// engine-wide query count, and one rtree blob per shard.
+type wireSharded struct {
+	Bits             int
+	FrameLo, FrameHi []float64
+	Queries          int64
+	Trees            [][]byte
+}
+
 // Save writes the engine (graph, model, parameters, index shape) to w. It
-// runs under the engine read lock, so snapshots are consistent and may run
-// concurrently with queries; updates wait until the snapshot is encoded.
+// runs under the engine read lock plus every shard read lock, so snapshots
+// are consistent and may run concurrently with queries; updates and cracks
+// wait until the snapshot is encoded.
 func (e *Engine) Save(w io.Writer) error {
-	e.prepareIndex() // materialize the lazy root before going read-only
+	e.prepareIndex() // materialize the lazy roots before going read-only
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	e.rlockShards()
+	defer e.runlockShards()
 	var metaBuf, graphBuf, modelBuf, treeBuf bytes.Buffer
 	if err := gob.NewEncoder(&metaBuf).Encode(wireMeta{Params: e.params, Mode: e.mode}); err != nil {
 		return fmt.Errorf("core: saving params: %w", err)
@@ -63,7 +82,16 @@ func (e *Engine) Save(w io.Writer) error {
 	if err := e.m.Save(&modelBuf); err != nil {
 		return fmt.Errorf("core: saving model: %w", err)
 	}
-	if err := e.tree.Save(&treeBuf); err != nil {
+	ws := wireSharded{Bits: e.router.Bits(), Queries: e.idxQueries.Load()}
+	ws.FrameLo, ws.FrameHi = e.router.Frame()
+	for i, sh := range e.shards {
+		var b bytes.Buffer
+		if err := sh.tree.Save(&b); err != nil {
+			return fmt.Errorf("core: saving index shard %d: %w", i, err)
+		}
+		ws.Trees = append(ws.Trees, b.Bytes())
+	}
+	if err := gob.NewEncoder(&treeBuf).Encode(ws); err != nil {
 		return fmt.Errorf("core: saving index: %w", err)
 	}
 	if err := snapfmt.WriteHeader(w, engineMagic, engineVersion, engineSections); err != nil {
@@ -95,7 +123,8 @@ func (e *Engine) Save(w io.Writer) error {
 // and model are intact, so the engine comes up with a freshly built cold
 // index and IndexRebuilt() reporting true.
 func LoadEngine(r io.Reader) (*Engine, error) {
-	if _, _, err := snapfmt.ReadHeader(r, engineMagic, engineVersion); err != nil {
+	version, _, err := snapfmt.ReadHeader(r, engineMagic, engineVersion)
+	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	var meta wireMeta
@@ -143,34 +172,79 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		ps.RegisterAttr(name, col)
 	}
 
-	var tree *rtree.Tree
-	degraded := false
+	var (
+		router  *rtree.ShardRouter
+		trees   []*rtree.Tree
+		queries int64
+	)
 	if treeErr == nil {
-		tree, treeErr = rtree.Load(bytes.NewReader(sections[secTree]), ps)
+		if version >= 2 {
+			router, trees, queries, treeErr = decodeShardedIndex(sections[secTree], ps)
+		} else {
+			// Version 1: a single raw tree blob; the engine comes up
+			// unsharded regardless of what the current default would be.
+			var t *rtree.Tree
+			t, treeErr = rtree.Load(bytes.NewReader(sections[secTree]), ps)
+			if treeErr == nil {
+				router = rtree.NewShardRouter(ps, ps.N(), 0)
+				trees = []*rtree.Tree{t}
+				queries = int64(t.Stats().Queries)
+			}
+		}
+	}
+
+	e := &Engine{
+		g:      g,
+		m:      m,
+		tf:     tf,
+		ps:     ps,
+		layout: newS1Layout(m, coords, p.Alpha),
+		mode:   meta.Mode,
 	}
 	if treeErr != nil {
 		// Graph and model survived; rebuild a cold index rather than fail.
-		degraded = true
-		switch meta.Mode {
-		case Bulk:
-			tree = rtree.NewBulkLoaded(ps, p.Index)
-		default:
-			tree = rtree.NewCracking(ps, p.Index)
+		e.degraded = true
+		p.Shards = resolveShards(p.Shards, meta.Mode)
+		e.params = p
+		e.buildIndex()
+	} else {
+		p.Shards = len(trees)
+		e.params = p
+		e.router = router
+		e.shards = make([]*engineShard, len(trees))
+		for i, t := range trees {
+			e.shards[i] = &engineShard{tree: t}
 		}
-	}
-	e := &Engine{
-		g:        g,
-		m:        m,
-		tf:       tf,
-		ps:       ps,
-		tree:     tree,
-		layout:   newS1Layout(m, coords, p.Alpha),
-		params:   p,
-		mode:     meta.Mode,
-		degraded: degraded,
+		e.trees = trees
+		e.idxQueries.Store(queries)
 	}
 	e.initExec()
 	return e, nil
+}
+
+// decodeShardedIndex unpacks the version-2 index section: the router frame
+// and one tree per shard. Any inconsistency (bad envelope, shard count not
+// matching the prefix length, per-shard blob damage) is reported as corrupt
+// so LoadEngine degrades to a cold rebuild.
+func decodeShardedIndex(payload []byte, ps *rtree.PointSet) (*rtree.ShardRouter, []*rtree.Tree, int64, error) {
+	var ws wireSharded
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ws); err != nil {
+		return nil, nil, 0, fmt.Errorf("core: decode index: %v: %w", err, snapfmt.ErrCorrupt)
+	}
+	if ws.Bits < 0 || ws.Bits > 31 || len(ws.Trees) != 1<<ws.Bits ||
+		len(ws.FrameLo) != ps.Dim || len(ws.FrameHi) != ps.Dim {
+		return nil, nil, 0, fmt.Errorf("core: malformed index section: %w", snapfmt.ErrCorrupt)
+	}
+	router := rtree.RouterFromFrame(ws.FrameLo, ws.FrameHi, ws.Bits)
+	trees := make([]*rtree.Tree, 0, len(ws.Trees))
+	for i, blob := range ws.Trees {
+		t, err := rtree.Load(bytes.NewReader(blob), ps)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("core: index shard %d: %w", i, err)
+		}
+		trees = append(trees, t)
+	}
+	return router, trees, ws.Queries, nil
 }
 
 func haveCoreSections(sections map[uint8][]byte) bool {

@@ -230,7 +230,13 @@ func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, *obs.Que
 		case <-c.done:
 			return wait()
 		case <-ctx.Done():
-			return nil, nil, ctx.Err()
+			// The follower gives up, but its trace must still be finished
+			// and offered to the slow-query log: a cancelled wait is
+			// exactly the kind of latency outlier the log exists to catch.
+			tr.Step(obs.StageWait)
+			tr.Finish()
+			e.noteSlow(tr, desc)
+			return nil, tr, ctx.Err()
 		}
 	}
 	c := &inflightCall{done: make(chan struct{})}

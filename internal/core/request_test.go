@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"vkgraph/internal/obs"
+)
+
+// TestCancelledFollowerTraced pins the coalescing edge case: a follower that
+// gives up on a still-running leader must still finish its trace (so span
+// durations sum to Wall) and offer it to the slow-query log — a cancelled
+// wait is exactly the latency outlier the log exists to catch.
+func TestCancelledFollowerTraced(t *testing.T) {
+	eng, g := testEngine(t, Crack, defaultTestParams())
+	likes, _ := g.RelationByName("likes")
+	u := g.EntitiesOfType("user")[0]
+	eng.SlowLog().SetThreshold(time.Nanosecond)
+	defer eng.SlowLog().SetThreshold(0)
+
+	// Park a fake never-finishing leader in the in-flight map so the request
+	// coalesces onto it, then hand it an already-cancelled context.
+	key := topkKey{dir: DirTail, ent: u, rel: likes, k: 5, eps: eng.params.Eps}
+	c := &inflightCall{done: make(chan struct{})}
+	eng.sfMu.Lock()
+	eng.inflight[key] = c
+	eng.sfMu.Unlock()
+	defer func() {
+		eng.sfMu.Lock()
+		delete(eng.inflight, key)
+		eng.sfMu.Unlock()
+		close(c.done)
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, tr, err := eng.doTopK(ctx, Request{Kind: KindTopK, Dir: DirTail, Entity: u, Rel: likes, K: 5, Trace: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled follower returned a result: %v", res)
+	}
+	if tr == nil {
+		t.Fatal("no trace returned")
+	}
+	if tr.Wall <= 0 {
+		t.Fatal("trace not finished: Wall is zero")
+	}
+	if !tr.Coalesced {
+		t.Fatal("trace not marked coalesced")
+	}
+	if len(tr.Spans) == 0 || tr.Spans[len(tr.Spans)-1].Stage != obs.StageWait {
+		t.Fatalf("last span %+v, want stage %q", tr.Spans, obs.StageWait)
+	}
+
+	found := false
+	for _, e := range eng.SlowLog().Entries() {
+		if strings.HasPrefix(e.Query, "topk ") && e.Trace != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cancelled follower missing from the slow-query log")
+	}
+	if got := eng.MetricsSnapshot().Coalesced; got != 1 {
+		t.Fatalf("coalesced counter = %d, want 1", got)
+	}
+}

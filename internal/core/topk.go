@@ -91,18 +91,25 @@ func (e *Engine) topKQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, k int, e
 // findTopK implements FindTopKEntities (Algorithm 3):
 //
 //  1. q <- the query point in S2;
-//  2. probe the index for k seed points near q and set the initial radius
-//     r_q = r_k*(seeds) * (1+eps), with r_k* measured in S1;
-//  3. examine the unexamined points of Q = B(q, r_q) in increasing S2
-//     distance, refining the top-k and shrinking r_q as better S1 distances
-//     arrive (the radius is non-increasing, so examining in S2 order lets
-//     us stop at the current radius);
-//  4. hand the final query region back to the caller, which cracks the
-//     index with it (under the write lock) if the region still needs it.
+//  2. seed the top-k with the first k eligible points of the merged
+//     best-first walk — the exact k nearest in S2, regardless of which
+//     shard holds them — and set the radius r_q = r_k* (1+eps), with r_k*
+//     measured in S1;
+//  3. keep examining the walk's points (they arrive in increasing S2
+//     distance), refining the top-k and shrinking r_q as better S1
+//     distances arrive; the radius is non-increasing, so the walk's bound
+//     check stops exactly at the current radius;
+//  4. hand the final query region back to the caller, which cracks every
+//     shard it overlaps (under the shard write locks) if still needed.
 //
-// findTopK runs entirely under the engine read lock (held by the caller)
-// and never mutates the engine; it returns the final query region and
-// whether the caller should complete the cracking step.
+// The walk visits points in ascending (S2 distance, id) order — a total
+// order independent of the tree structure — so a sharded engine returns
+// bit-identical predictions to an unsharded one.
+//
+// findTopK runs entirely under the engine read lock (held by the caller),
+// takes all shard read locks for the walk, and never mutates the engine; it
+// returns the final query region and whether the caller should complete the
+// cracking step.
 func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityID) bool, tr *obs.QueryTrace) (*TopKResult, rtree.Rect, bool) {
 	res := &TopKResult{}
 	if k <= 0 || e.ps.N() == 0 {
@@ -112,45 +119,23 @@ func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityI
 	q2 := e.tf.Apply(q1)
 	tr.Step(obs.StageTransform)
 
-	// Line 2: seed candidates from the smallest element containing q.
-	// Request extra seeds since some will be skipped as known E-edges.
+	// Lines 2-8 as one merged pass: unbounded while the top-k is filling
+	// (the first k eligible points are the exact seeds), then bounded by the
+	// shrinking (1+eps)-expanded kth distance.
 	top := newTopKSet(k)
-	want := 4 * k
-	for {
-		seeds := e.tree.NearestSeeds(q2, want)
-		for _, id := range seeds {
-			if skip(id) {
-				continue
-			}
-			top.offer(Prediction{Entity: id, Dist: e.s1DistFast(q1, id)})
-			res.Examined++
+	bound := func() float64 {
+		if top.len() < k {
+			return math.Inf(1)
 		}
-		if top.len() >= k || len(seeds) >= e.ps.N() {
-			break
-		}
-		want *= 4
+		r := top.kth() * (1 + eps)
+		return r * r
 	}
-	tr.Step(obs.StageSearch)
-	if top.len() == 0 {
-		res.RecallBound = 1
-		e.met.examined.Add(uint64(res.Examined))
-		return res, rtree.Rect{}, false
-	}
-
-	// Lines 3-8: examine the points of the ball in increasing S2 distance,
-	// shrinking the ball as the top-k improve. Since the walk is ascending
-	// and the radius is non-increasing, stopping at the first point beyond
-	// the current radius is exact.
-	radius := func() float64 { return top.kth() * (1 + eps) }
-	sqRadius := func() float64 { r := radius(); return r * r }
 	l1 := e.m.NormUsed == embedding.L1
 	pruned := 0
-	e.tree.WalkWithin(q2, sqRadius, func(id32 int32, sqd float64) bool {
-		if sqd > sqRadius() {
-			return false
-		}
+	e.rlockShards()
+	rtree.WalkTreesWithin(e.trees, q2, bound, func(id32 int32, _ float64) bool {
 		id := kg.EntityID(id32)
-		if top.contains(id) || skip(id) {
+		if skip(id) {
 			return true
 		}
 		res.Examined++
@@ -174,10 +159,17 @@ func (e *Engine) findTopK(q1 []float64, k int, eps float64, skip func(kg.EntityI
 		}
 		return true
 	})
+	e.runlockShards()
+	tr.Step(obs.StageSearch)
+	if top.len() == 0 {
+		res.RecallBound = 1
+		e.met.examined.Add(uint64(res.Examined))
+		return res, rtree.Rect{}, false
+	}
 	tr.Step(obs.StageRefine)
 
 	// Line 9's index update happens in the caller with this final region.
-	finalQ := rtree.BallRect(q2, radius())
+	finalQ := rtree.BallRect(q2, top.kth()*(1+eps))
 
 	res.Predictions = top.sorted()
 	attachProbs(res.Predictions)

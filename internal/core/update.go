@@ -83,6 +83,19 @@ func (e *Engine) InsertEntity(name, typ string, facts []Fact, attrs map[string]f
 			return 0, err
 		}
 	}
+	// All validation happens before the first mutation, so a rejected call
+	// leaves the engine exactly as it was: graph, model, point set, layout,
+	// and index stay in lockstep (their sizes all equal NumEntities), and
+	// the generation counter is untouched. InsertTripleDynamic's only
+	// failure mode is an out-of-range id, which the checks above (and the
+	// new id being freshly allocated) rule out; duplicate facts are no-ops
+	// for it, so they need no pre-screening.
+	if e.g.NumEntities()*e.m.Dim != len(e.m.Entities) {
+		return 0, fmt.Errorf("core: model/graph desynchronized at %d entities", e.g.NumEntities())
+	}
+	if e.ps.N() != e.g.NumEntities() {
+		return 0, fmt.Errorf("core: point set desynchronized: %d points for %d entities", e.ps.N(), e.g.NumEntities())
+	}
 
 	// Solve the new vector locally from the translation constraints.
 	vec := make([]float64, e.m.Dim)
@@ -105,21 +118,16 @@ func (e *Engine) InsertEntity(name, typ string, facts []Fact, attrs map[string]f
 		vec[i] /= float64(len(facts))
 	}
 
-	// Grow graph, model, layout, S2 point set, and index in lockstep.
+	// Grow graph, model, layout, S2 point set, and index in lockstep. No
+	// step below can fail: the desynchronization and range checks above
+	// already proved every id in range and every structure the same size.
 	id := e.g.AddEntity(name, typ)
 	e.m.Entities = append(e.m.Entities, vec...)
-	if int(id)*e.m.Dim != len(e.m.Entities)-e.m.Dim {
-		return 0, fmt.Errorf("core: model/graph desynchronized at entity %d", id)
-	}
 	for _, f := range facts {
-		var err error
 		if f.NewIsHead {
-			err = e.g.InsertTripleDynamic(id, f.Rel, f.Other)
+			_ = e.g.InsertTripleDynamic(id, f.Rel, f.Other)
 		} else {
-			err = e.g.InsertTripleDynamic(f.Other, f.Rel, id)
-		}
-		if err != nil {
-			return 0, err
+			_ = e.g.InsertTripleDynamic(f.Other, f.Rel, id)
 		}
 	}
 	for name, v := range attrs {
@@ -131,10 +139,7 @@ func (e *Engine) InsertEntity(name, typ string, facts []Fact, attrs map[string]f
 
 	p2 := e.tf.Apply(vec)
 	pid := e.ps.AppendPoint(p2)
-	if pid != int32(id) {
-		return 0, fmt.Errorf("core: point set desynchronized: point %d for entity %d", pid, id)
-	}
-	e.tree.Insert(pid)
+	e.shards[e.router.ShardOf(p2)].tree.Insert(pid)
 	e.layout.appendRow(vec)
 	e.gen.Add(1) // the new entity may belong in any cached answer
 	return id, nil

@@ -89,7 +89,7 @@ func TestInsertEntity(t *testing.T) {
 	if y, ok := g.Attr("year", id); !ok || y != 2024 {
 		t.Fatalf("attribute: %v, %v", y, ok)
 	}
-	if err := eng.Tree().CheckInvariants(); err != nil {
+	if err := eng.CheckInvariants(); err != nil {
 		t.Fatalf("index invariants after insert: %v", err)
 	}
 
@@ -142,6 +142,65 @@ func TestInsertEntityValidation(t *testing.T) {
 	}
 	if _, err := eng.InsertEntity("x", "movie", []Fact{{Rel: 99, Other: 0}}, nil); err == nil {
 		t.Fatal("fact with bad relation accepted")
+	}
+}
+
+// TestInsertEntityFailureAtomicity pins the all-or-nothing contract: a
+// rejected InsertEntity must leave graph, model, point set, and generation
+// exactly as they were, even when the invalid fact comes after valid ones
+// (validation runs to completion before the first mutation).
+func TestInsertEntityFailureAtomicity(t *testing.T) {
+	eng, g := testEngine(t, Crack, defaultTestParams())
+	likes, _ := g.RelationByName("likes")
+	u := g.EntitiesOfType("user")[0]
+
+	entBefore := g.NumEntities()
+	triBefore := g.NumTriples()
+	modelBefore := len(eng.m.Entities)
+	psBefore := eng.ps.N()
+	genBefore := eng.gen.Load()
+
+	// First fact valid, second invalid: nothing of the first may stick.
+	_, err := eng.InsertEntity("ghost", "movie", []Fact{
+		{Rel: likes, Other: u},
+		{Rel: kg.RelationID(99), Other: u},
+	}, map[string]float64{"year": 1999})
+	if err == nil {
+		t.Fatal("insert with invalid relation accepted")
+	}
+	_, err = eng.InsertEntity("ghost", "movie", []Fact{
+		{Rel: likes, Other: u},
+		{Rel: likes, Other: kg.EntityID(g.NumEntities() + 7)},
+	}, nil)
+	if err == nil {
+		t.Fatal("insert with out-of-range endpoint accepted")
+	}
+
+	if g.NumEntities() != entBefore {
+		t.Fatalf("entities %d, want %d", g.NumEntities(), entBefore)
+	}
+	if g.NumTriples() != triBefore {
+		t.Fatalf("triples %d, want %d (partial fact applied)", g.NumTriples(), triBefore)
+	}
+	if len(eng.m.Entities) != modelBefore {
+		t.Fatalf("model grew to %d floats, want %d", len(eng.m.Entities), modelBefore)
+	}
+	if eng.ps.N() != psBefore {
+		t.Fatalf("point set grew to %d, want %d", eng.ps.N(), psBefore)
+	}
+	if eng.gen.Load() != genBefore {
+		t.Fatalf("generation bumped to %d by a failed insert", eng.gen.Load())
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after failed insert: %v", err)
+	}
+
+	// The engine is still fully usable: a valid insert goes through.
+	if _, err := eng.InsertEntity("real", "movie", []Fact{{Rel: likes, Other: u}}, nil); err != nil {
+		t.Fatalf("valid insert after failures: %v", err)
+	}
+	if eng.gen.Load() != genBefore+1 {
+		t.Fatalf("generation %d after valid insert, want %d", eng.gen.Load(), genBefore+1)
 	}
 }
 

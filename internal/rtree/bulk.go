@@ -7,7 +7,7 @@ package rtree
 // "bulk-loading" baseline of Figures 3, 5, 7, 9-11.
 func NewBulkLoaded(ps *PointSet, opt Options) *Tree {
 	opt = opt.normalize()
-	t := &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), initialN: ps.N()}
+	t := &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), initialN: ps.N(), owned: ps.N()}
 	if ps.N() == 0 {
 		t.created++
 		t.root = &node{mbr: EmptyRect(ps.Dim), leafIDs: []int32{}}

@@ -133,6 +133,10 @@ func Load(r io.Reader, ps *PointSet) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The wire format predates the owned counter; recover it from the
+	// structure (contour points + tombstones), which is exactly what the
+	// counter tracks.
+	t.owned = t.root.numPoints() + len(t.deleted)
 	return t, nil
 }
 

@@ -1,0 +1,125 @@
+package rtree
+
+// Sharding support: a ShardRouter statically partitions the S2 space into
+// 2^bits axis-aligned cells by Morton-prefix — recursive midpoint bisection
+// of a fixed frame, cycling through the dimensions — and each cell gets its
+// own cracked Tree over the shared PointSet. Because every cell is a
+// contiguous region, a query ball overlaps few shards and the merged
+// best-first walk (WalkTreesWithin) prunes the rest with one MBR check per
+// shard. The frame is captured once from the initial point set and must be
+// persisted with the trees: re-deriving it after inserts would re-route
+// points that were already assigned.
+
+// ShardRouter routes points to Morton-prefix shards.
+type ShardRouter struct {
+	bits   int
+	lo, hi []float64 // the routing frame: the initial point bounding box
+}
+
+// NewShardRouter builds a router over the first n points of ps with the
+// given prefix length (2^bits shards). An empty point set (or n == 0) falls
+// back to the unit frame so routing stays well-defined.
+func NewShardRouter(ps *PointSet, n, bits int) *ShardRouter {
+	lo := make([]float64, ps.Dim)
+	hi := make([]float64, ps.Dim)
+	if n > ps.N() {
+		n = ps.N()
+	}
+	if n == 0 {
+		for d := range hi {
+			hi[d] = 1
+		}
+		return &ShardRouter{bits: bits, lo: lo, hi: hi}
+	}
+	r := EmptyRect(ps.Dim)
+	for i := int32(0); i < int32(n); i++ {
+		r.Expand(ps.At(i))
+	}
+	copy(lo, r.Lo)
+	copy(hi, r.Hi)
+	return &ShardRouter{bits: bits, lo: lo, hi: hi}
+}
+
+// RouterFromFrame rebuilds a router from a persisted frame.
+func RouterFromFrame(lo, hi []float64, bits int) *ShardRouter {
+	return &ShardRouter{
+		bits: bits,
+		lo:   append([]float64(nil), lo...),
+		hi:   append([]float64(nil), hi...),
+	}
+}
+
+// Bits returns the Morton prefix length (NumShards == 1 << Bits).
+func (r *ShardRouter) Bits() int { return r.bits }
+
+// NumShards returns the shard count.
+func (r *ShardRouter) NumShards() int { return 1 << r.bits }
+
+// Frame returns copies of the routing frame's corners.
+func (r *ShardRouter) Frame() (lo, hi []float64) {
+	return append([]float64(nil), r.lo...), append([]float64(nil), r.hi...)
+}
+
+// ShardOf returns the shard owning pt: the pt's bits-long Morton prefix in
+// the routing frame, MSB first, bit b splitting dimension b mod dim at the
+// midpoint of the current interval (1 = upper half). Points outside the
+// frame (inserted after the frame was captured) clamp to the nearest edge
+// cell, so routing stays total.
+func (r *ShardRouter) ShardOf(pt []float64) int {
+	if r.bits == 0 {
+		return 0
+	}
+	dim := len(r.lo)
+	var loBuf, hiBuf [16]float64
+	var lo, hi []float64
+	if dim <= len(loBuf) {
+		lo, hi = loBuf[:dim], hiBuf[:dim]
+	} else {
+		lo, hi = make([]float64, dim), make([]float64, dim)
+	}
+	copy(lo, r.lo)
+	copy(hi, r.hi)
+	shard := 0
+	for b := 0; b < r.bits; b++ {
+		d := b % dim
+		mid := 0.5 * (lo[d] + hi[d])
+		shard <<= 1
+		if pt[d] >= mid {
+			shard |= 1
+			lo[d] = mid
+		} else {
+			hi[d] = mid
+		}
+	}
+	return shard
+}
+
+// Assign buckets the first n point ids by owning shard; buckets keep ids in
+// ascending order (the iteration order), which makes the initial shard
+// contents deterministic.
+func (r *ShardRouter) Assign(ps *PointSet, n int) [][]int32 {
+	buckets := make([][]int32, r.NumShards())
+	if n > ps.N() {
+		n = ps.N()
+	}
+	for i := int32(0); i < int32(n); i++ {
+		s := r.ShardOf(ps.At(i))
+		buckets[s] = append(buckets[s], i)
+	}
+	return buckets
+}
+
+// NewCrackingSubset returns a cracking index over an explicit subset of the
+// point set — one shard of a sharded engine. Like NewCracking, construction
+// defers everything: the subset's sort orders are built by the first
+// operation. An empty subset yields a valid empty tree (the shard can still
+// grow through Insert).
+func NewCrackingSubset(ps *PointSet, opt Options, ids []int32) *Tree {
+	opt = opt.normalize()
+	t := &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), owned: len(ids)}
+	if len(ids) > 0 {
+		t.initialIDs = append([]int32(nil), ids...)
+		t.initialN = len(ids)
+	}
+	return t
+}

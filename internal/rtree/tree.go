@@ -88,6 +88,20 @@ type Tree struct {
 	// root covers exactly these points, and anything appended later enters
 	// only through Insert.
 	initialN int
+
+	// initialIDs, when non-nil, restricts the lazy root to an explicit
+	// subset of the point set (a shard of a sharded engine); ensureRoot
+	// consumes it. A tree with nil initialIDs covers the first initialN
+	// points, as NewCracking always did.
+	initialIDs []int32
+
+	// owned counts the points this tree is responsible for: the initial
+	// points (all of the set, or the subset for a shard) plus everything
+	// Inserted, including current tombstones. The live count is
+	// owned - len(deleted); CheckInvariants verifies the contour covers
+	// exactly that, which stays meaningful when several trees share one
+	// PointSet.
+	owned int
 }
 
 // NewCracking returns a cracking index whose only node is a pending root
@@ -97,7 +111,7 @@ type Tree struct {
 // Figure 3.
 func NewCracking(ps *PointSet, opt Options) *Tree {
 	opt = opt.normalize()
-	return &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), initialN: ps.N()}
+	return &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), initialN: ps.N(), owned: ps.N()}
 }
 
 // ensureRoot materializes the root on first use.
@@ -110,7 +124,13 @@ func (t *Tree) ensureRoot() {
 		t.root = &node{mbr: EmptyRect(t.ps.Dim), leafIDs: []int32{}}
 		return
 	}
-	p := newRootPartition(t.ps, t.initialN)
+	var p *partition
+	if t.initialIDs != nil {
+		p = newPartitionFromIDs(t.ps, t.initialIDs)
+		t.initialIDs = nil
+	} else {
+		p = newRootPartition(t.ps, t.initialN)
+	}
 	t.root = &node{mbr: p.mbr, part: p}
 	if p.count() <= t.opt.LeafCap {
 		t.toLeaf(t.root)
@@ -517,15 +537,16 @@ func (t *Tree) Stats() Stats {
 		Queries:        int(t.queries.Load()),
 		SizeBytes:      t.root.sizeBytes(t.ps.Dim),
 		Height:         t.root.height(),
-		Points:         t.ps.N(),
+		Points:         t.owned - len(t.deleted),
 	}
 }
 
 // CheckInvariants verifies the structural invariants the paper's lemmas rely
 // on: every node's MBR contains its contents; internal nodes have children;
-// the contour elements partition the full point set (Lemma 1); leaves
-// respect the capacity; pending partitions keep consistent sort orders.
-// Intended for tests; O(n log n).
+// the contour elements partition the tree's owned point set (Lemma 1 —
+// which is the full PointSet for an unsharded tree and the shard's subset
+// otherwise); leaves respect the capacity; pending partitions keep
+// consistent sort orders. Intended for tests; O(n log n).
 func (t *Tree) CheckInvariants() error {
 	t.ensureRoot()
 	seen := make(map[int32]int)
@@ -579,7 +600,7 @@ func (t *Tree) CheckInvariants() error {
 				seen[id]++
 			}
 		default:
-			if t.ps.N() != 0 {
+			if t.owned != 0 {
 				return fmt.Errorf("empty node in non-empty tree")
 			}
 		}
@@ -588,7 +609,7 @@ func (t *Tree) CheckInvariants() error {
 	if err := walk(t.root, 0); err != nil {
 		return err
 	}
-	if want := t.ps.N() - len(t.deleted); len(seen) != want {
+	if want := t.owned - len(t.deleted); len(seen) != want {
 		return fmt.Errorf("contour covers %d of %d live points", len(seen), want)
 	}
 	for id, c := range seen {

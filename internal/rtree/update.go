@@ -44,7 +44,11 @@ func (t *Tree) Insert(id int32) {
 	for int(id) >= len(t.scratch) {
 		t.scratch = append(t.scratch, false)
 	}
-	delete(t.deleted, id)
+	if t.deleted[id] {
+		delete(t.deleted, id) // resurrecting a tombstone: already owned
+	} else {
+		t.owned++
+	}
 	t.insertAt(t.root, id)
 }
 

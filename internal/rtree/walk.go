@@ -28,8 +28,44 @@ func (t *Tree) WalkWithin(q []float64, bound func() float64, visit func(id int32
 	var accIn, accLf, accPd uint64
 	defer func() { t.access.flush(accIn, accLf, accPd) }()
 	pq := walkHeap{{n: t.root, d: t.root.mbr.MinSqDist(q)}}
-	for len(pq) > 0 {
-		it := heap.Pop(&pq).(walkItem)
+	walkLoop(t.ps, &pq, q, bound, visit, &accIn, &accLf, &accPd)
+}
+
+// WalkTreesWithin merges the best-first walks of several trees into one
+// ascending stream — the sharded index's ball walk. All trees must be built
+// over the same PointSet, already Ready (the engine prepares shards under
+// its write lock before serving), and share one AccessCounters sink. The
+// frontier is seeded with every root, so shards whose region is far from q
+// cost exactly one MBR distance check; the heap's deterministic ordering
+// makes the visit sequence ascending (distance, id) regardless of how the
+// points are partitioned into trees, which is what makes sharded and
+// unsharded engines return identical answers.
+func WalkTreesWithin(trees []*Tree, q []float64, bound func() float64, visit func(id int32, sqDist float64) bool) {
+	if len(trees) == 1 {
+		trees[0].WalkWithin(q, bound, visit)
+		return
+	}
+	var accIn, accLf, accPd uint64
+	first := trees[0]
+	defer func() { first.access.flush(accIn, accLf, accPd) }()
+	b := bound()
+	pq := make(walkHeap, 0, len(trees))
+	for _, t := range trees {
+		t.ensureRoot()
+		if d := t.root.mbr.MinSqDist(q); d <= b {
+			pq = append(pq, walkItem{n: t.root, d: d})
+		}
+	}
+	heap.Init(&pq)
+	walkLoop(first.ps, &pq, q, bound, visit, &accIn, &accLf, &accPd)
+}
+
+// walkLoop drains an initialized frontier in deterministic best-first order.
+// Trees sharing the frontier must share ps; LeafCap and friends are not
+// consulted, so mixed-option trees are fine.
+func walkLoop(ps *PointSet, pq *walkHeap, q []float64, bound func() float64, visit func(id int32, sqDist float64) bool, accIn, accLf, accPd *uint64) {
+	for len(*pq) > 0 {
+		it := heap.Pop(pq).(walkItem)
 		b := bound()
 		if it.d > b {
 			return // everything left is farther than the bound
@@ -42,18 +78,18 @@ func (t *Tree) WalkWithin(q []float64, bound func() float64, visit func(id int32
 		}
 		switch {
 		case it.n.isInternal():
-			accIn++
+			*accIn++
 			for _, c := range it.n.children {
 				if d := c.mbr.MinSqDist(q); d <= b {
-					heap.Push(&pq, walkItem{n: c, d: d})
+					heap.Push(pq, walkItem{n: c, d: d})
 				}
 			}
 		case it.n.isLeaf():
-			accLf++
-			pushPoints(t.ps, &pq, it.n.leafIDs, q, b)
+			*accLf++
+			pushPoints(ps, pq, it.n.leafIDs, q, b)
 		default:
-			accPd++
-			pushPoints(t.ps, &pq, it.n.part.ids(), q, b)
+			*accPd++
+			pushPoints(ps, pq, it.n.part.ids(), q, b)
 		}
 	}
 }
@@ -74,8 +110,24 @@ type walkItem struct {
 
 type walkHeap []walkItem
 
-func (h walkHeap) Len() int            { return len(h) }
-func (h walkHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h walkHeap) Len() int { return len(h) }
+
+// Less orders the frontier by ascending distance; at equal distance nodes
+// come before points (so every point at distance d reaches the frontier
+// before any is visited) and point ties break by ascending id. The visit
+// order is therefore exactly ascending (distance, id) — a total order over
+// the data, independent of the tree structure — which keeps walks over
+// differently cracked (or differently sharded) trees bit-identical.
+func (h walkHeap) Less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	in, jn := h[i].n != nil, h[j].n != nil
+	if in != jn {
+		return in
+	}
+	return h[i].id < h[j].id
+}
 func (h walkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *walkHeap) Push(x interface{}) { *h = append(*h, x.(walkItem)) }
 func (h *walkHeap) Pop() interface{} {

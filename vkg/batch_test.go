@@ -210,7 +210,7 @@ func TestBatchStress(t *testing.T) {
 	}
 
 	// The engine must still be coherent and serving.
-	if err := v.Engine().Tree().CheckInvariants(); err != nil {
+	if err := v.Engine().CheckInvariants(); err != nil {
 		t.Fatalf("index invariants after batch storm: %v", err)
 	}
 	res, err := v.TopKTails(users[0], ratesHigh, 5)

@@ -102,7 +102,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	}
 
 	// The engine must still be coherent after the storm.
-	if err := v.Engine().Tree().CheckInvariants(); err != nil {
+	if err := v.Engine().CheckInvariants(); err != nil {
 		t.Fatalf("index invariants after concurrent workload: %v", err)
 	}
 	res, err := v.TopKTails(users[0], ratesHigh, 5)

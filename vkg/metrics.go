@@ -81,9 +81,17 @@ type Metrics struct {
 	Cache     CacheStats
 	Coalesced uint64
 
-	// ReadLockWait and WriteLockWait measure contention on the engine lock.
+	// ReadLockWait and WriteLockWait measure contention on the engine lock
+	// (WriteLockWait also folds in the per-shard crack-lock waits).
 	ReadLockWait  LatencyStats
 	WriteLockWait LatencyStats
+
+	// Shards is the spatial shard count of the index (see WithShards);
+	// ShardWriteLockWait and ShardCrackLock break the cracking-path lock
+	// wait and hold times down by shard, indexed 0..Shards-1.
+	Shards             int
+	ShardWriteLockWait []LatencyStats
+	ShardCrackLock     []LatencyStats
 
 	// Index is the current index structure (also available via IndexStats).
 	Index IndexStats
@@ -107,6 +115,12 @@ func (m Metrics) CacheHitRate() float64 {
 // atomic load at a time.
 func (v *VKG) Metrics() Metrics {
 	s := v.eng.MetricsSnapshot()
+	sww := make([]LatencyStats, len(s.ShardWriteWait))
+	scl := make([]LatencyStats, len(s.ShardCrackLock))
+	for i := range sww {
+		sww[i] = latencyStats(s.ShardWriteWait[i])
+		scl[i] = latencyStats(s.ShardCrackLock[i])
+	}
 	return Metrics{
 		TopKQueries:        s.TopKQueries,
 		AggregateQueries:   s.AggregateQueries,
@@ -130,6 +144,9 @@ func (v *VKG) Metrics() Metrics {
 		Coalesced:          s.Coalesced,
 		ReadLockWait:       latencyStats(s.ReadLockWait),
 		WriteLockWait:      latencyStats(s.WriteLockWait),
+		Shards:             s.Shards,
+		ShardWriteLockWait: sww,
+		ShardCrackLock:     scl,
 		Index:              v.IndexStats(),
 		Generation:         s.Generation,
 	}
