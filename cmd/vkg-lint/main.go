@@ -1,0 +1,41 @@
+// Command vkg-lint runs the project's custom static-analysis suite
+// (internal/analysis/...): the machine-checked versions of the
+// concurrency, error-handling, observability, and context-propagation
+// invariants DESIGN.md states in prose.
+//
+// Usage:
+//
+//	go run ./cmd/vkg-lint ./...           # direct, what CI runs
+//	go vet -vettool=$(pwd)/vkg-lint ./... # as a vet tool, with vet's caching
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+//
+// The upstream nilness and lostcancel analyzers would normally ride along
+// here via multichecker, but this module builds offline with no
+// dependencies, so x/tools is unavailable: lostcancel is replaced by the
+// in-tree internal/analysis/lostcancel, and nilness-class bugs are
+// covered by staticcheck in the same CI lint job.
+package main
+
+import (
+	"os"
+
+	"vkgraph/internal/analysis"
+	"vkgraph/internal/analysis/checker"
+	"vkgraph/internal/analysis/ctxpropagate"
+	"vkgraph/internal/analysis/lockorder"
+	"vkgraph/internal/analysis/lostcancel"
+	"vkgraph/internal/analysis/obssafety"
+	"vkgraph/internal/analysis/sentinelerr"
+)
+
+func main() {
+	suite := []*analysis.Analyzer{
+		lockorder.Analyzer,
+		sentinelerr.Analyzer,
+		obssafety.Analyzer,
+		ctxpropagate.Analyzer,
+		lostcancel.Analyzer,
+	}
+	os.Exit(checker.Main(suite))
+}

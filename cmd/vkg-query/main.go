@@ -132,11 +132,11 @@ func main() {
 func resolve(g *vkg.Graph, entity, rel string) (vkg.EntityID, vkg.RelationID, error) {
 	e, ok := g.EntityByName(entity)
 	if !ok {
-		return 0, 0, fmt.Errorf("unknown entity %q", entity)
+		return 0, 0, fmt.Errorf("%w: %q", vkg.ErrUnknownEntity, entity)
 	}
 	r, ok := g.RelationByName(rel)
 	if !ok {
-		return 0, 0, fmt.Errorf("unknown relation %q", rel)
+		return 0, 0, fmt.Errorf("%w: %q", vkg.ErrUnknownRelation, rel)
 	}
 	return e, r, nil
 }

@@ -1,0 +1,116 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named check
+// with a Run function, a Pass hands it one type-checked package, and
+// diagnostics are reported through the Pass.
+//
+// The API deliberately mirrors the upstream framework (Analyzer, Pass,
+// Diagnostic, Reportf) so that the day this module takes the x/tools
+// dependency, the custom analyzers under internal/analysis/... port by
+// changing one import path. Until then the suite stays buildable offline
+// with the standard library alone, which is the same zero-dependency
+// stance the rest of the engine takes (see internal/obs).
+//
+// What is intentionally missing relative to x/tools: cross-package facts,
+// the Requires/ResultOf analyzer graph, and suggested fixes. None of the
+// vkg invariants need them — every check is expressible over a single
+// type-checked package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run executes the check over one package and reports diagnostics
+	// through the Pass. The error return is for operational failures
+	// (analyzer bugs, not findings); findings are diagnostics.
+	Run func(*Pass) error
+}
+
+// Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ObjectOf resolves an identifier or selector expression to the object it
+// uses (or defines), or nil. Shared by the analyzers for sentinel and
+// callee resolution.
+func (p *Pass) ObjectOf(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := p.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return p.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return p.ObjectOf(e.Sel)
+	case *ast.ParenExpr:
+		return p.ObjectOf(e.X)
+	}
+	return nil
+}
+
+// ParentMap records the parent of every node in a set of files, so
+// analyzers can walk outward from a finding (x/tools gets this from the
+// inspector; here it is an explicit pre-pass).
+type ParentMap struct {
+	parent map[ast.Node]ast.Node
+}
+
+// NewParentMap builds a parent map over the given files.
+func NewParentMap(files []*ast.File) *ParentMap {
+	pm := &ParentMap{parent: make(map[ast.Node]ast.Node)}
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				pm.parent[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return pm
+}
+
+// Parent returns the immediate parent of n, or nil at a file root.
+func (pm *ParentMap) Parent(n ast.Node) ast.Node { return pm.parent[n] }
+
+// Path returns the ancestor chain of n from the node itself outward.
+func (pm *ParentMap) Path(n ast.Node) []ast.Node {
+	var path []ast.Node
+	for n != nil {
+		path = append(path, n)
+		n = pm.parent[n]
+	}
+	return path
+}

@@ -1,0 +1,261 @@
+// Package checker drives the analysis suite. It supports two modes,
+// mirroring the split between x/tools' multichecker and unitchecker:
+//
+//   - Pattern mode: `vkg-lint ./...` loads and type-checks the matching
+//     packages itself (via the loader package) and runs every analyzer
+//     over each. This is the mode CI and humans use.
+//
+//   - Unitchecker mode: `go vet -vettool=$(which vkg-lint) ./...` invokes
+//     the binary once per package with a JSON config file argument
+//     (*.cfg) describing the already-planned compilation unit. The
+//     protocol also probes the tool with -V=full for cache keying. This
+//     mode exists so the suite composes with go vet's caching and build
+//     integration.
+package checker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"vkgraph/internal/analysis"
+	"vkgraph/internal/analysis/loader"
+)
+
+// A Diag pairs a diagnostic with the analyzer that produced it and the
+// resolved position.
+type Diag struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// Run executes every analyzer over every package and returns the
+// diagnostics sorted by position.
+func Run(analyzers []*analysis.Analyzer, pkgs []*loader.Package) ([]Diag, error) {
+	var diags []Diag
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				diags = append(diags, Diag{
+					Analyzer: name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Position, diags[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}
+
+// Main is the entry point shared by cmd/vkg-lint. It dispatches between
+// the two modes, prints diagnostics, and returns the process exit code:
+// 0 clean, 1 diagnostics reported, 2 operational failure.
+func Main(analyzers []*analysis.Analyzer) int {
+	// The vet driver probes the tool twice before real work: `-flags` asks
+	// which vet flags the tool accepts (none beyond the protocol's own),
+	// and `-V=full` fetches a fingerprint for result caching.
+	for _, arg := range os.Args[1:] {
+		if arg == "-flags" || arg == "--flags" {
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	fs := flag.NewFlagSet("vkg-lint", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	versionFlag := fs.String("V", "", "print version and exit (go vet protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "usage: vkg-lint [-json] <packages>  (or via go vet -vettool)")
+		return 2
+	}
+	if *versionFlag != "" {
+		return printVersion(*versionFlag)
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vkg-lint [-json] <packages>  (or via go vet -vettool)")
+		return 2
+	}
+	// go vet passes exactly one argument ending in .cfg.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(analyzers, args[0])
+	}
+	return patternCheck(analyzers, args, *jsonFlag)
+}
+
+func patternCheck(analyzers []*analysis.Analyzer, patterns []string, asJSON bool) int {
+	pkgs, err := loader.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+		return 2
+	}
+	diags, err := Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+		return 2
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion implements the `-V=full` handshake: go vet keys its result
+// cache on this line, so it must change whenever the tool binary does.
+// Hashing our own executable gives exactly that.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Println("vkg-lint version devel")
+		return 0
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+		return 2
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+		return 2
+	}
+	fmt.Printf("vkg-lint version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}
+
+// vetConfig is the subset of go vet's per-package JSON config the suite
+// consumes (the full struct is internal to cmd/go; unknown fields are
+// ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single compilation unit described by cfgFile,
+// per the go vet driver protocol: diagnostics go to stderr, a (here
+// empty) facts file is written to VetxOutput, and exit status 1 marks
+// findings.
+func unitcheck(analyzers []*analysis.Analyzer, cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-lint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// The suite exports no facts, so dependency-only invocations have
+	// nothing to do beyond writing the (empty) facts file go vet expects.
+	exit := 0
+	if !cfg.VetxOnly {
+		exit = unitcheckRun(analyzers, &cfg)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+			return 2
+		}
+	}
+	return exit
+}
+
+func unitcheckRun(analyzers []*analysis.Analyzer, cfg *vetConfig) int {
+	fset := token.NewFileSet()
+	lookup := make(loader.ExportLookup, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		lookup[path] = file
+	}
+	imp := &loader.Importer{
+		ImportMap: cfg.ImportMap,
+		Source:    nil, // vet hands us export data for every dependency
+		Export:    loader.NewExportImporter(fset, lookup),
+	}
+	files, tpkg, info, err := loader.CheckSource(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+		return 2
+	}
+	pkg := &loader.Package{
+		PkgPath: cfg.ImportPath,
+		Name:    tpkg.Name(),
+		Dir:     cfg.Dir,
+		GoFiles: cfg.GoFiles,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	diags, err := Run(analyzers, []*loader.Package{pkg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vkg-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,114 @@
+// Package ctxpropagate enforces context propagation below the engine's
+// request boundary: Do(ctx) and DoBatch(ctx) accept the caller's context
+// and everything underneath is expected to thread it through. A
+// context.Background() or context.TODO() inside a function that already
+// has a context.Context parameter silently severs cancellation — batch
+// shutdown stops propagating and the fault-injection harness's timeout
+// tests pass vacuously. The fix is almost always "use the ctx you were
+// handed".
+//
+// Functions without a context parameter are left alone: they are above
+// the boundary (main, tests, HTTP handlers constructing the root
+// context) where Background() is the correct root.
+package ctxpropagate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vkgraph/internal/analysis"
+)
+
+// Analyzer reports context.Background()/TODO() calls made where a caller
+// context is already in scope.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpropagate",
+	Doc:  "forbid context.Background()/TODO() in functions that already receive a context.Context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// ctxParams tracks context parameters visible at each nesting
+			// level: the decl's own, plus any added by enclosed func
+			// literals. A literal with its own ctx param resets the
+			// "nearest" name; one without inherits the outer one (it closes
+			// over it).
+			checkBody(pass, fd.Body, ctxParamName(pass, fd.Type))
+		}
+	}
+	return nil
+}
+
+// checkBody walks stmts reporting fresh-context calls while `ctx` names
+// the nearest in-scope context parameter ("" = none).
+func checkBody(pass *analysis.Pass, body ast.Node, ctx string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := ctxParamName(pass, n.Type)
+			if inner == "" {
+				inner = ctx // closure still sees the outer parameter
+			}
+			checkBody(pass, n.Body, inner)
+			return false
+		case *ast.CallExpr:
+			if ctx == "" {
+				return true
+			}
+			if name := freshContextCall(pass, n); name != "" {
+				pass.Reportf(n.Pos(), "context.%s() below the request boundary severs cancellation; propagate the in-scope context %q instead", name, ctx)
+			}
+		}
+		return true
+	})
+}
+
+// ctxParamName returns the name of the first context.Context parameter of
+// ft, or "". A blank (_) context parameter counts as absent: the function
+// has visibly opted out of propagation, which is a different (reviewable)
+// decision from silently minting a fresh root.
+func ctxParamName(pass *analysis.Pass, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		t, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(t.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// freshContextCall returns "Background" or "TODO" if call is
+// context.Background() or context.TODO(), else "".
+func freshContextCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	obj := pass.ObjectOf(call.Fun)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name()
+	}
+	return ""
+}

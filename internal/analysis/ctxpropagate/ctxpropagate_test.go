@@ -1,0 +1,12 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"vkgraph/internal/analysis/analysistest"
+	"vkgraph/internal/analysis/ctxpropagate"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpropagate.Analyzer, "ctxpkg")
+}

@@ -1,0 +1,55 @@
+// Package ctxpkg exercises the ctxpropagate rule: below a function that
+// already receives a context, minting a fresh root severs cancellation.
+package ctxpkg
+
+import (
+	"context"
+	"time"
+)
+
+func run(ctx context.Context) {}
+
+// Do is below the boundary: it received the caller's context.
+func Do(ctx context.Context, work func() error) error {
+	c2 := context.Background() // want `propagate the in-scope context "ctx"`
+	run(c2)
+	return work()
+}
+
+// DoTODO is the same severance spelled TODO.
+func DoTODO(ctx context.Context) {
+	run(context.TODO()) // want `context.TODO\(\) below the request boundary`
+}
+
+// Root is above the boundary: no context parameter, so Background is the
+// correct root.
+func Root() context.Context {
+	return context.Background()
+}
+
+// DoRight derives from the context it was handed.
+func DoRight(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second)
+}
+
+// DoAsync is bad even inside the goroutine closure: the closure still
+// sees the outer parameter.
+func DoAsync(ctx context.Context) func() {
+	return func() {
+		run(context.Background()) // want `propagate the in-scope context "ctx"`
+	}
+}
+
+// handler shows a literal with its own context parameter: that parameter
+// becomes the nearest in-scope context.
+func handler() func(context.Context) {
+	return func(ctx context.Context) {
+		run(context.Background()) // want `propagate the in-scope context "ctx"`
+	}
+}
+
+// optOut uses a blank context parameter — a visible, reviewable opt-out
+// rather than a silent severance, so the rule stays quiet.
+func optOut(_ context.Context) {
+	run(context.Background())
+}

@@ -1,0 +1,204 @@
+// Package loader type-checks module packages for the analysis suite
+// without golang.org/x/tools: package metadata comes from `go list -deps
+// -export -json`, dependencies are imported from the compiler's export
+// data in the build cache (via go/importer's lookup hook), and only the
+// packages being analyzed are parsed and type-checked from source. This
+// is the same split go/packages performs in LoadSyntax mode, implemented
+// on the standard library so the linter builds with zero dependencies and
+// no network.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	GoFiles []string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// ListedPackage mirrors the subset of `go list -json` fields we consume.
+type ListedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+}
+
+// GoList runs `go list -deps -export -json` in dir over the given
+// patterns and returns every package in dependency order (dependencies
+// before dependents), compiling export data as a side effect.
+func GoList(dir string, patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,ImportMap,Standard,DepOnly",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(ListedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// ExportLookup is an import-path -> export-data-file map usable as the
+// lookup hook of an export-data importer.
+type ExportLookup map[string]string
+
+// Open implements the go/importer lookup contract.
+func (m ExportLookup) Open(path string) (io.ReadCloser, error) {
+	file, ok := m[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("loader: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Importer resolves imports for a package being type-checked from source:
+// source-checked packages win, everything else comes from export data,
+// with the package's ImportMap applied first (stdlib vendoring).
+type Importer struct {
+	ImportMap map[string]string
+	Source    map[string]*types.Package
+	Export    types.Importer
+}
+
+// NewExportImporter returns an importer over the given export-data map.
+func NewExportImporter(fset *token.FileSet, lookup ExportLookup) types.Importer {
+	return importer.ForCompiler(fset, "gc", lookup.Open)
+}
+
+// Import implements types.Importer.
+func (im *Importer) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := im.Source[path]; ok {
+		return p, nil
+	}
+	return im.Export.Import(path)
+}
+
+// CheckSource parses and type-checks the named files as the package at
+// pkgPath, resolving imports through imp. Type errors fail the load: the
+// analyzers assume well-typed input.
+func CheckSource(fset *token.FileSet, pkgPath string, filenames []string, imp types.Importer) ([]*ast.File, *types.Package, *types.Info, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return files, tpkg, info, nil
+}
+
+// Load lists, parses, and type-checks the packages matching the patterns
+// (relative to dir, "" meaning the current directory). Test files are not
+// included — GoFiles is the non-test compilation unit, which is also what
+// `go vet`'s per-package config delivers for the main variant.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	exports := make(ExportLookup)
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	exp := NewExportImporter(fset, exports)
+	source := make(map[string]*types.Package)
+	var out []*Package
+
+	// The -deps order lists dependencies before dependents, so by the time
+	// a target imports a sibling target, the sibling is in `source`.
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("loader: %s uses cgo, which the source checker does not support", lp.ImportPath)
+		}
+		filenames := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			filenames[i] = filepath.Join(lp.Dir, f)
+		}
+		sort.Strings(filenames)
+		imp := &Importer{ImportMap: lp.ImportMap, Source: source, Export: exp}
+		files, tpkg, info, err := CheckSource(fset, lp.ImportPath, filenames, imp)
+		if err != nil {
+			return nil, err
+		}
+		source[lp.ImportPath] = tpkg
+		out = append(out, &Package{
+			PkgPath: lp.ImportPath,
+			Name:    lp.Name,
+			Dir:     lp.Dir,
+			GoFiles: filenames,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}

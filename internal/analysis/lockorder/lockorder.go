@@ -1,0 +1,442 @@
+// Package lockorder enforces the engine's two-level lock discipline
+// (DESIGN.md "Concurrency": lock order is engine → shards, shards in
+// ascending index order, and write-critical sections stay short).
+//
+// The shape it looks for is structural, not name-based: an "engine" is any
+// struct with both a sync.Mutex/RWMutex field and a slice field of "shard"
+// structs, where a shard is a struct with its own mutex field. Wherever
+// that shape exists, four rules apply:
+//
+//  1. Never acquire an engine write lock while a shard lock may be held —
+//     the documented order is engine before shards, and the reverse edge
+//     makes the lock graph cyclic.
+//  2. Shard locks are only taken under the engine read lock. A function
+//     that acquires a shard lock must either take the engine lock itself
+//     first or carry a "caller must hold"-style doc comment stating the
+//     precondition, so the contract is at least written where the call
+//     sites can see it.
+//  3. Shard locks inside a loop must be acquired in ascending shard order:
+//     a descending for loop or a range over a map (nondeterministic order)
+//     that acquires shard locks is flagged.
+//  4. No potentially blocking operation inside a write-critical section
+//     (between mu.Lock and mu.Unlock, on any mutex): channel operations,
+//     select, time.Sleep, sync.WaitGroup.Wait, filesystem and network
+//     calls, writes to stdio, and obs registry flushes
+//     (Registry.Snapshot/WritePrometheus, which take the registry lock).
+//     Lock-free obs increments (Counter.Inc, Histogram.Observe, ...) are
+//     allowed — the hot paths depend on that.
+//
+// The analysis is lexical within one function body: events are ordered by
+// source position, which matches how every critical section in this
+// module is written (and keeps the checker dependency-free — no SSA).
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"vkgraph/internal/analysis"
+)
+
+// Analyzer enforces the two-level engine/shard lock discipline.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce the engine→shards(ascending) lock order and non-blocking write-critical sections",
+	Run:  run,
+}
+
+// callerHoldsRe matches doc comments that state the engine-lock
+// precondition, e.g. "the caller must hold e.mu.RLock" or "(which the
+// caller still holds)".
+var callerHoldsRe = regexp.MustCompile(`(?i)caller[s]?\s+(must\s+hold|still\s+hold|hold)`)
+
+// lockKind classifies the owner of a mutex.
+type lockKind int
+
+const (
+	kindOther lockKind = iota
+	kindEngine
+	kindShard
+)
+
+// event is one ordered occurrence inside a function body.
+type event struct {
+	pos  token.Pos
+	kind lockKind
+	// op is Lock, RLock, Unlock, or RUnlock for mutex events, "" for
+	// blocking-operation events.
+	op string
+	// key identifies the mutex by the printed receiver expression, so
+	// sh.mu.Lock pairs with sh.mu.Unlock.
+	key string
+	// deferred marks a deferred unlock: the section runs to function end.
+	deferred bool
+	// blockDesc describes a potentially blocking operation.
+	blockDesc string
+}
+
+func run(pass *analysis.Pass) error {
+	engines, shards := lockShapes(pass.Pkg)
+	// Rule 4 is a hot-path rule: it applies in the packages DESIGN.md calls
+	// the query path (internal/core, internal/rtree) and anywhere the
+	// engine/shard shape itself lives. Elsewhere, holding a lock across I/O
+	// can be a deliberate serialization choice (e.g. the experiments
+	// dataset cache memoizes expensive builds under its mutex).
+	hotPath := len(shards) > 0 ||
+		strings.Contains(pass.Pkg.Path(), "internal/core") ||
+		strings.Contains(pass.Pkg.Path(), "internal/rtree")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, engines, shards, hotPath)
+		}
+	}
+	return nil
+}
+
+// lockShapes finds the engine/shard struct pairs of the package: a shard
+// is a struct with a mutex field referenced as []S or []*S from a struct
+// that also has its own mutex field (the engine).
+func lockShapes(pkg *types.Package) (engines, shards map[*types.Named]bool) {
+	engines = make(map[*types.Named]bool)
+	shards = make(map[*types.Named]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || !hasMutexField(st) {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			sl, ok := st.Field(i).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			elem := sl.Elem()
+			if p, ok := elem.(*types.Pointer); ok {
+				elem = p.Elem()
+			}
+			en, ok := elem.(*types.Named)
+			if !ok {
+				continue
+			}
+			est, ok := en.Underlying().(*types.Struct)
+			if ok && hasMutexField(est) {
+				engines[named] = true
+				shards[en] = true
+			}
+		}
+	}
+	return engines, shards
+}
+
+func hasMutexField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkFunc runs the four rules over one function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, engines, shards map[*types.Named]bool, hotPath bool) {
+	events := collectEvents(pass, fd, engines, shards)
+	hasCallerHoldsDoc := fd.Doc != nil && callerHoldsRe.MatchString(fd.Doc.Text())
+
+	// Linear scan in source order.
+	type heldLock struct {
+		kind  lockKind
+		op    string
+		write bool
+	}
+	held := make(map[string]heldLock)
+	shardHeld := 0
+	writeHeld := func() (string, bool) {
+		for key, h := range held {
+			if h.write {
+				return key, true
+			}
+		}
+		return "", false
+	}
+	sawEngineLock := false
+	for _, ev := range events {
+		switch ev.op {
+		case "Lock", "RLock":
+			if ev.kind == kindEngine {
+				if ev.op == "Lock" && shardHeld > 0 {
+					pass.Reportf(ev.pos, "engine write lock %s.Lock acquired while a shard lock is held; the documented order is engine before shards", ev.key)
+				}
+				sawEngineLock = true
+			}
+			if ev.kind == kindShard {
+				if !sawEngineLock && !hasCallerHoldsDoc {
+					pass.Reportf(ev.pos, "shard lock %s.%s acquired without the engine read lock: take it first, or document the precondition with a 'caller must hold' doc comment", ev.key, ev.op)
+				}
+				shardHeld++
+			}
+			held[ev.key] = heldLock{kind: ev.kind, op: ev.op, write: ev.op == "Lock"}
+		case "Unlock", "RUnlock":
+			if !ev.deferred {
+				if h, ok := held[ev.key]; ok {
+					if h.kind == kindShard {
+						shardHeld--
+					}
+					delete(held, ev.key)
+				}
+			}
+			// A deferred unlock keeps the section open to function end, which
+			// is exactly how the linear scan already treats an unreleased lock.
+		case "":
+			if key, ok := writeHeld(); ok && hotPath {
+				pass.Reportf(ev.pos, "%s inside the %s write-critical section; move it outside the lock", ev.blockDesc, key)
+			}
+		}
+	}
+
+	checkLoopOrder(pass, fd, shards)
+}
+
+// collectEvents gathers lock, unlock, and blocking-operation events of fd
+// in source order.
+func collectEvents(pass *analysis.Pass, fd *ast.FuncDecl, engines, shards map[*types.Named]bool) []event {
+	var events []event
+	add := func(ev event) { events = append(events, ev) }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := lockEvent(pass, n.Call, engines, shards); ok {
+				ev.deferred = true
+				add(ev)
+				return false
+			}
+		case *ast.CallExpr:
+			if ev, ok := lockEvent(pass, n, engines, shards); ok {
+				add(ev)
+				return true
+			}
+			if desc, ok := blockingCall(pass, n); ok {
+				add(event{pos: n.Pos(), blockDesc: desc})
+			}
+		case *ast.SendStmt:
+			add(event{pos: n.Pos(), blockDesc: "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(event{pos: n.Pos(), blockDesc: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			add(event{pos: n.Pos(), blockDesc: "select statement"})
+			// Do not descend: the select's cases are themselves blocking ops.
+			return false
+		case *ast.RangeStmt:
+			if t, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					add(event{pos: n.Pos(), blockDesc: "range over channel"})
+				}
+			}
+		}
+		return true
+	})
+	// ast.Inspect is depth-first in source order for statements within one
+	// body, which is the order the scan needs.
+	return events
+}
+
+// lockEvent recognizes x.mu.Lock / RLock / Unlock / RUnlock calls and
+// classifies the owner x.
+func lockEvent(pass *analysis.Pass, call *ast.CallExpr, engines, shards map[*types.Named]bool) (event, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return event{}, false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return event{}, false
+	}
+	if t, ok := pass.TypesInfo.Types[sel.X]; !ok || !isMutexType(t.Type) {
+		return event{}, false
+	}
+	kind := kindOther
+	if owner, ok := sel.X.(*ast.SelectorExpr); ok {
+		if t, ok := pass.TypesInfo.Types[owner.X]; ok {
+			ot := t.Type
+			if p, ok := ot.(*types.Pointer); ok {
+				ot = p.Elem()
+			}
+			if named, ok := ot.(*types.Named); ok {
+				switch {
+				case engines[named]:
+					kind = kindEngine
+				case shards[named]:
+					kind = kindShard
+				}
+			}
+		}
+	}
+	return event{pos: call.Pos(), kind: kind, op: op, key: exprString(sel.X)}, true
+}
+
+// blockingCall recognizes calls that may block or perform I/O.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	obj := pass.ObjectOf(call.Fun)
+	if obj == nil {
+		return "", false
+	}
+	name := obj.Name()
+	// The package-path table below is for package-level functions only:
+	// a method on an os/net type (say (*os.File).Name, a field read) must
+	// not inherit its package's blocking reputation.
+	fn, isFunc := obj.(*types.Func)
+	if isFunc && fn.Type().(*types.Signature).Recv() == nil {
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "time":
+				if name == "Sleep" {
+					return "time.Sleep", true
+				}
+			case "net", "net/http", "os/exec", "io/ioutil":
+				return pkg.Path() + "." + name + " call (I/O)", true
+			case "os":
+				switch name {
+				case "Getenv", "LookupEnv", "Getpid", "Environ", "Expand", "ExpandEnv":
+					return "", false
+				}
+				return "os." + name + " call (I/O)", true
+			case "fmt":
+				switch name {
+				case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+					return "fmt." + name + " call (I/O)", true
+				}
+			case "log":
+				return "log." + name + " call (I/O)", true
+			}
+		}
+	}
+	// Method calls: WaitGroup.Wait, Cond.Wait, and obs registry flushes.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if t, ok := pass.TypesInfo.Types[sel.X]; ok {
+			rt := t.Type
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok {
+				tobj := named.Obj()
+				tpkg := ""
+				if tobj.Pkg() != nil {
+					tpkg = tobj.Pkg().Name()
+				}
+				if tpkg == "sync" && name == "Wait" {
+					return "sync." + tobj.Name() + ".Wait", true
+				}
+				if tpkg == "obs" && tobj.Name() == "Registry" &&
+					(name == "Snapshot" || name == "WritePrometheus") {
+					return "obs.Registry." + name + " (takes the registry lock)", true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// checkLoopOrder flags shard-lock acquisition in loops that do not iterate
+// in ascending order: descending for loops and ranges over maps.
+func checkLoopOrder(pass *analysis.Pass, fd *ast.FuncDecl, shards map[*types.Named]bool) {
+	if len(shards) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if isDescending(loop) && acquiresShardLock(pass, loop.Body, shards) {
+				pass.Reportf(loop.Pos(), "shard locks acquired in a descending loop; shards must be locked in ascending index order")
+			}
+		case *ast.RangeStmt:
+			if t, ok := pass.TypesInfo.Types[loop.X]; ok {
+				if _, isMap := t.Type.Underlying().(*types.Map); isMap && acquiresShardLock(pass, loop.Body, shards) {
+					pass.Reportf(loop.Pos(), "shard locks acquired while ranging over a map (nondeterministic order); shards must be locked in ascending index order")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isDescending(loop *ast.ForStmt) bool {
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		return post.Tok == token.DEC
+	case *ast.AssignStmt:
+		return post.Tok == token.SUB_ASSIGN
+	}
+	return false
+}
+
+func acquiresShardLock(pass *analysis.Pass, body *ast.BlockStmt, shards map[*types.Named]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ev, ok := lockEvent(pass, call, nil, shards); ok && ev.kind == kindShard && (ev.op == "Lock" || ev.op == "RLock") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a lock receiver expression compactly (sh.mu,
+// e.shards[i].mu) so Lock and Unlock events pair up by key.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	default:
+		return "?"
+	}
+}

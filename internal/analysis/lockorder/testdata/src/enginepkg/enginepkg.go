@@ -1,0 +1,139 @@
+// Package enginepkg is a structural miniature of the engine/shard lock
+// hierarchy for the lockorder golden tests: a struct with a mutex and a
+// slice of mutex-bearing shard structs, exercised in both compliant and
+// violating ways.
+package enginepkg
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu   sync.RWMutex
+	data []int
+}
+
+type engine struct {
+	mu     sync.RWMutex
+	shards []*shard
+}
+
+// ok: the documented order — engine read lock, then shards ascending.
+func (e *engine) readAll() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	total := 0
+	for i := 0; i < len(e.shards); i++ {
+		sh := e.shards[i]
+		sh.mu.RLock()
+		total += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// rlockShards read-locks every shard; the caller must hold e.mu.RLock.
+func (e *engine) rlockShards() {
+	for i := 0; i < len(e.shards); i++ {
+		e.shards[i].mu.RLock()
+	}
+}
+
+// bad: shard lock with neither the engine lock nor a precondition doc.
+func (e *engine) orphanShardLock() {
+	sh := e.shards[0]
+	sh.mu.Lock() // want `without the engine read lock`
+	sh.data = append(sh.data, 1)
+	sh.mu.Unlock()
+}
+
+// bad: engine write lock acquired while a shard lock is held.
+func (e *engine) inverted() {
+	e.mu.RLock()
+	sh := e.shards[0]
+	sh.mu.Lock()
+	e.mu.Lock() // want `engine write lock .* while a shard lock is held`
+	e.mu.Unlock()
+	sh.mu.Unlock()
+	e.mu.RUnlock()
+}
+
+// ok: engine write lock with no shard lock held.
+func (e *engine) grow() {
+	e.mu.Lock()
+	e.shards = append(e.shards, &shard{})
+	e.mu.Unlock()
+}
+
+// bad: shard locks taken in descending index order.
+func (e *engine) lockDescending() {
+	e.mu.RLock()
+	for i := len(e.shards) - 1; i >= 0; i-- { // want `descending loop`
+		e.shards[i].mu.Lock()
+		e.shards[i].mu.Unlock()
+	}
+	e.mu.RUnlock()
+}
+
+// bad: map iteration order is nondeterministic, so so is the lock order.
+func (e *engine) lockFromMap(m map[int]*shard) {
+	e.mu.RLock()
+	for _, sh := range m { // want `ranging over a map`
+		sh.mu.RLock()
+		sh.mu.RUnlock()
+	}
+	e.mu.RUnlock()
+}
+
+type counter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// bad: three flavors of blocking inside one write-critical section.
+func (c *counter) blockUnderLock(ch chan int) {
+	c.mu.Lock()
+	c.n++
+	time.Sleep(time.Millisecond) // want `time.Sleep inside the c.mu write-critical section`
+	fmt.Println(c.n)             // want `fmt.Println call \(I/O\) inside`
+	ch <- c.n                    // want `channel send inside`
+	c.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// bad: a deferred unlock keeps the section open to the end of the body.
+func (c *counter) deferBlock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	time.Sleep(time.Millisecond) // want `time.Sleep inside the c.mu write-critical section`
+}
+
+// bad: select blocks like any other channel operation.
+func (c *counter) selectUnder(ch chan int) {
+	c.mu.Lock()
+	select { // want `select statement inside`
+	case <-ch:
+	default:
+	}
+	c.mu.Unlock()
+}
+
+// ok: blocking work after the unlock is the fix the rule asks for.
+func (c *counter) blockAfter() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	fmt.Println(c.n)
+}
+
+// ok: read-critical sections are not flagged — only write locks stall
+// every reader behind the blocking call.
+func (c *counter) snapshotN(out chan int) {
+	c.mu.RLock()
+	n := c.n
+	c.mu.RUnlock()
+	out <- n
+}

@@ -1,0 +1,147 @@
+// Package lostcancel is an in-tree substitute for the x/tools analyzer of
+// the same name, which this module cannot vendor (the build is offline
+// and dependency-free). It covers the cases that matter for this engine:
+// the CancelFunc returned by context.WithCancel/WithTimeout/WithDeadline
+// must not be discarded with _, and a named cancel variable must be used
+// somewhere in the function — called, deferred, passed along, or
+// returned. Dropping it leaks the context's timer and goroutine until the
+// parent is done, which in a long-lived serving process is effectively
+// forever.
+//
+// Unlike the upstream analyzer this one is syntactic (no SSA/CFG), so it
+// accepts any use of the variable rather than proving a call on every
+// path. That keeps it dependency-free while still catching the two real
+// bug shapes: `ctx, _ := context.WithTimeout(...)` and a cancel whose
+// only mention is the `_ = cancel` suppression idiom (the compiler's
+// unused-variable error already rules out a cancel with no mention at
+// all).
+package lostcancel
+
+import (
+	"go/ast"
+
+	"vkgraph/internal/analysis"
+)
+
+// Analyzer reports discarded or unused context.CancelFuncs.
+var Analyzer = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  "cancel functions from context.With{Cancel,Timeout,Deadline} must not be discarded or left unused",
+	Run:  run,
+}
+
+var cancelReturning = map[string]bool{
+	"WithCancel":   true,
+	"WithTimeout":  true,
+	"WithDeadline": true,
+	// WithCancelCause returns a CancelCauseFunc; same obligation.
+	"WithCancelCause": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pm := analysis.NewParentMap(pass.Files)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, pm, fd)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, pm *analysis.ParentMap, fd *ast.FuncDecl) {
+	// First collect the cancel variables this function introduces,
+	// then scan for uses of each beyond its defining assignment.
+	type cancelVar struct {
+		ident *ast.Ident // the defining identifier
+	}
+	var cancels []cancelVar
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isCancelReturning(pass, call) {
+			return true
+		}
+		if len(as.Lhs) != 2 {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(id.Pos(), "the cancel function returned by %s is discarded; the context's resources leak until the parent context ends", callName(call))
+			return true
+		}
+		cancels = append(cancels, cancelVar{ident: id})
+		return true
+	})
+
+	for _, cv := range cancels {
+		obj := pass.TypesInfo.Defs[cv.ident]
+		if obj == nil {
+			// Plain `=` assignment to an existing variable: resolve via Uses.
+			obj = pass.TypesInfo.Uses[cv.ident]
+		}
+		if obj == nil {
+			continue
+		}
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id == cv.ident {
+				return true
+			}
+			if pass.TypesInfo.Uses[id] == obj && !isBlankSuppression(pm, id) {
+				used = true
+				return false
+			}
+			return true
+		})
+		if !used {
+			pass.Reportf(cv.ident.Pos(), "cancel function %s is never used; call it (usually `defer %s()`) or the context leaks", cv.ident.Name, cv.ident.Name)
+		}
+	}
+}
+
+// isBlankSuppression reports whether id appears only to be blanked out
+// (`_ = cancel`) — that silences the compiler's unused-variable error
+// without discharging the cancel obligation, so it is not a use.
+func isBlankSuppression(pm *analysis.ParentMap, id *ast.Ident) bool {
+	as, ok := pm.Parent(id).(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		l, ok := lhs.(*ast.Ident)
+		if !ok || l.Name != "_" {
+			return false
+		}
+	}
+	for _, rhs := range as.Rhs {
+		if rhs == ast.Expr(id) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCancelReturning(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := pass.ObjectOf(call.Fun)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && cancelReturning[obj.Name()]
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "context." + sel.Sel.Name
+	}
+	return "context.WithCancel"
+}

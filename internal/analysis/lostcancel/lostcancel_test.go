@@ -1,0 +1,12 @@
+package lostcancel_test
+
+import (
+	"testing"
+
+	"vkgraph/internal/analysis/analysistest"
+	"vkgraph/internal/analysis/lostcancel"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", lostcancel.Analyzer, "cancelpkg")
+}

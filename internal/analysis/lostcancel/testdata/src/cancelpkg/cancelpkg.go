@@ -1,0 +1,53 @@
+// Package cancelpkg exercises the lostcancel rule: the CancelFunc from
+// context.With{Cancel,Timeout,Deadline} must be kept and eventually
+// called.
+package cancelpkg
+
+import (
+	"context"
+	"time"
+)
+
+// bad: discarding the cancel func leaks the timer until the parent ends.
+func discard(ctx context.Context) context.Context {
+	c, _ := context.WithTimeout(ctx, time.Second) // want `cancel function returned by context.WithTimeout is discarded`
+	return c
+}
+
+// bad: WithCancel carries the same obligation.
+func discardCancel(ctx context.Context) context.Context {
+	c, _ := context.WithCancel(ctx) // want `cancel function returned by context.WithCancel is discarded`
+	return c
+}
+
+// bad: blanking the cancel out afterwards silences the compiler, not the
+// leak.
+func suppressed(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx) // want `cancel function cancel is never used`
+	_ = cancel
+	return c
+}
+
+// ok: the canonical shape.
+func deferred(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-c.Done()
+	return c.Err()
+}
+
+// ok: handing the cancel to the caller transfers the obligation.
+func handedBack(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithDeadline(ctx, time.Now().Add(time.Second))
+}
+
+// ok: storing it for a later Stop call is a use.
+type session struct {
+	cancel context.CancelFunc
+}
+
+func (s *session) start(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	return c
+}

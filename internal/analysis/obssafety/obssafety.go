@@ -1,0 +1,270 @@
+// Package obssafety enforces the observability layer's hot-path
+// contracts (internal/obs):
+//
+//  1. Metrics registered on a *package-level* obs.Registry must be
+//     registered in a package-level var initializer or init(): calling
+//     Counter/Gauge/Histogram(Func) on a shared registry from ordinary
+//     functions re-registers the series on every call, and the duplicate
+//     families corrupt the Prometheus exposition. (Registries created
+//     locally — the engine's per-instance registry — register wherever
+//     they like.)
+//  2. Every pointer-receiver method on obs.QueryTrace must begin with a
+//     nil-receiver guard: "A nil *QueryTrace is valid and every method is
+//     a no-op on it" is the documented contract the untraced hot path
+//     relies on.
+//  3. Outside the obs package, writes to fields of a *obs.QueryTrace must
+//     be guarded by a `tr != nil` check — methods are nil-safe, field
+//     assignments are not, and the common case is exactly tr == nil.
+//  4. Traces are constructed by obs.StartTrace(), never by composite
+//     literal: a literal leaves the unexported start/mark clocks zero and
+//     every Step duration becomes garbage. The StartTrace result must
+//     also not be discarded.
+package obssafety
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vkgraph/internal/analysis"
+)
+
+// Analyzer enforces obs registration and nil-safe trace handling.
+var Analyzer = &analysis.Analyzer{
+	Name: "obssafety",
+	Doc:  "enforce init-time registration on shared registries and nil-safe *QueryTrace handling",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	inObs := pass.Pkg.Name() == "obs"
+	pm := analysis.NewParentMap(pass.Files)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRegistration(pass, pm, n)
+				checkDiscardedStart(pass, pm, n)
+			case *ast.FuncDecl:
+				if inObs {
+					checkNilGuard(pass, n)
+				}
+			case *ast.AssignStmt:
+				if !inObs {
+					checkGuardedWrite(pass, pm, n)
+				}
+			case *ast.CompositeLit:
+				if !inObs {
+					checkLiteralTrace(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsType reports whether t (after deref) is the named type
+// obs.<name>, matching by package name so the analyzer works against the
+// real package and the analysistest fake alike.
+func isObsType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "obs" && obj.Name() == name
+}
+
+var registerMethods = map[string]bool{
+	"Counter": true, "CounterFunc": true,
+	"Gauge": true, "GaugeFunc": true,
+	"Histogram": true,
+}
+
+// checkRegistration implements rule 1.
+func checkRegistration(pass *analysis.Pass, pm *analysis.ParentMap, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registerMethods[sel.Sel.Name] {
+		return
+	}
+	t, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isObsType(t.Type, "Registry") {
+		return
+	}
+	recv := pass.ObjectOf(sel.X)
+	v, ok := recv.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return // not a package-level registry: per-instance, register freely
+	}
+	if inInitContext(pm, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "metric registered on package-level registry %s outside a package-level var or init(); repeated calls register duplicate series", v.Name())
+}
+
+// inInitContext reports whether n sits in a package-level var initializer
+// or inside func init().
+func inInitContext(pm *analysis.ParentMap, n ast.Node) bool {
+	for _, anc := range pm.Path(n) {
+		switch anc := anc.(type) {
+		case *ast.FuncDecl:
+			return anc.Recv == nil && anc.Name.Name == "init"
+		case *ast.FuncLit:
+			// A closure is ordinary code even if declared at init time,
+			// unless the literal itself is only *defined* there — the call
+			// happens later. Treat as non-init.
+			return false
+		case *ast.ValueSpec:
+			return true // package-level var initializer (FuncDecl would have matched first otherwise)
+		}
+	}
+	return false
+}
+
+// checkNilGuard implements rule 2: pointer-receiver methods on QueryTrace
+// start with `if t == nil { ... }`.
+func checkNilGuard(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+		return
+	}
+	recvType, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return
+	}
+	if _, isPtr := recvType.Type.(*types.Pointer); !isPtr {
+		return
+	}
+	if !isObsType(recvType.Type, "QueryTrace") {
+		return
+	}
+	recvName := ""
+	if len(fd.Recv.List[0].Names) == 1 {
+		recvName = fd.Recv.List[0].Names[0].Name
+	}
+	if recvName == "" || recvName == "_" {
+		if len(fd.Body.List) == 0 {
+			return // an empty body is trivially a no-op, nil or not
+		}
+		pass.Reportf(fd.Pos(), "method %s on *QueryTrace ignores its receiver; nil traces are the untraced fast path and every method must guard for them", fd.Name.Name)
+		return
+	}
+	if len(fd.Body.List) > 0 && isNilReturnGuard(fd.Body.List[0], recvName) {
+		return
+	}
+	pass.Reportf(fd.Pos(), "method %s on *QueryTrace must begin with `if %s == nil` — a nil trace is valid and every method is documented as a no-op on it", fd.Name.Name, recvName)
+}
+
+// isNilReturnGuard matches `if name == nil { ...return... }`.
+func isNilReturnGuard(stmt ast.Stmt, name string) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	if !isNilCheck(ifStmt.Cond, name, true) {
+		return false
+	}
+	if len(ifStmt.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// isNilCheck matches `name == nil` (eq=true) or `name != nil` (eq=false).
+func isNilCheck(cond ast.Expr, name string, eq bool) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if (eq && be.Op.String() != "==") || (!eq && be.Op.String() != "!=") {
+		return false
+	}
+	matches := func(a, b ast.Expr) bool {
+		id, ok := a.(*ast.Ident)
+		if !ok || id.Name != name {
+			return false
+		}
+		nb, ok := b.(*ast.Ident)
+		return ok && nb.Name == "nil"
+	}
+	return matches(be.X, be.Y) || matches(be.Y, be.X)
+}
+
+// checkGuardedWrite implements rule 3: `tr.Field = x` outside obs needs a
+// dominating `tr != nil`.
+func checkGuardedWrite(pass *analysis.Pass, pm *analysis.ParentMap, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		t, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !isObsType(t.Type, "QueryTrace") {
+			continue
+		}
+		if _, isPtr := t.Type.(*types.Pointer); !isPtr {
+			continue
+		}
+		if isNilGuarded(pm, as, base.Name) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "write to %s.%s without a nil guard: methods on *QueryTrace are nil-safe but field writes are not, and nil is the untraced fast path", base.Name, sel.Sel.Name)
+	}
+}
+
+// isNilGuarded reports whether stmt is dominated by a `name != nil`
+// condition: an enclosing `if name != nil` arm, or an earlier
+// `if name == nil { return }` in one of its enclosing blocks.
+func isNilGuarded(pm *analysis.ParentMap, stmt ast.Stmt, name string) bool {
+	var prev ast.Node = stmt
+	for _, anc := range pm.Path(stmt) {
+		switch anc := anc.(type) {
+		case *ast.IfStmt:
+			// Only the then-branch is guarded by the condition.
+			if prev == anc.Body && isNilCheck(anc.Cond, name, false) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, s := range anc.List {
+				if s.Pos() >= prev.Pos() {
+					break
+				}
+				if ifs, ok := s.(*ast.IfStmt); ok && isNilReturnGuard(ifs, name) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+		prev = anc
+	}
+	return false
+}
+
+// checkLiteralTrace implements rule 4 (composite literal half).
+func checkLiteralTrace(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isObsType(t.Type, "QueryTrace") {
+		return
+	}
+	pass.Reportf(lit.Pos(), "QueryTrace built by composite literal: the unexported clocks stay zero and Step durations are wrong; use obs.StartTrace()")
+}
+
+// checkDiscardedStart implements rule 4 (discard half): obs.StartTrace()
+// as a bare statement.
+func checkDiscardedStart(pass *analysis.Pass, pm *analysis.ParentMap, call *ast.CallExpr) {
+	obj := pass.ObjectOf(call.Fun)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "obs" || obj.Name() != "StartTrace" {
+		return
+	}
+	if _, ok := pm.Parent(call).(*ast.ExprStmt); ok {
+		pass.Reportf(call.Pos(), "obs.StartTrace() result discarded; the trace can never be finished or reported")
+	}
+}

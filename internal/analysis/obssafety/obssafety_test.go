@@ -1,0 +1,12 @@
+package obssafety_test
+
+import (
+	"testing"
+
+	"vkgraph/internal/analysis/analysistest"
+	"vkgraph/internal/analysis/obssafety"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", obssafety.Analyzer, "obs", "obsclient")
+}

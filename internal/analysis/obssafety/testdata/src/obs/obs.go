@@ -1,0 +1,100 @@
+// Package obs is a structural miniature of the real internal/obs for the
+// obssafety golden tests: a Registry with registration methods and a
+// QueryTrace whose methods must be nil-safe.
+package obs
+
+import "time"
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Gauge is a point-in-time metric.
+type Gauge struct{ v float64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Histogram accumulates observations.
+type Histogram struct{ sum float64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.sum += v }
+
+// Registry owns a namespace of metrics.
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// CounterFunc registers a callback-backed counter.
+func (r *Registry) CounterFunc(name string, fn func() int64) {}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a callback-backed gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {}
+
+// Histogram registers and returns a histogram.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	return &Histogram{}
+}
+
+// QueryTrace records per-stage timings. A nil *QueryTrace is valid and
+// every method must be a no-op on it.
+type QueryTrace struct {
+	CacheHit bool
+	Stage    string
+	start    time.Time
+}
+
+// StartTrace begins a trace.
+func StartTrace() *QueryTrace {
+	return &QueryTrace{start: time.Now()}
+}
+
+// Step is compliant: it opens with the nil guard.
+func (t *QueryTrace) Step(name string) {
+	if t == nil {
+		return
+	}
+	t.Stage = name
+}
+
+// Finish is bad: no nil guard, so the untraced fast path panics.
+func (t *QueryTrace) Finish() { // want `must begin with .if t == nil.`
+	t.Stage = "done"
+}
+
+// Reset is bad: the guard is not the first statement, so the receiver is
+// dereferenced before it.
+func (t *QueryTrace) Reset() { // want `must begin with .if t == nil.`
+	t.Stage = ""
+	if t == nil {
+		return
+	}
+	t.CacheHit = false
+}
+
+// Noop is fine: a blank receiver with an empty body is trivially a no-op.
+func (*QueryTrace) Noop() {}
+
+// Log is bad: a blank receiver cannot be guarded, and the body does real
+// work even for nil traces.
+func (*QueryTrace) Log() { // want `ignores its receiver`
+	println("trace")
+}

@@ -1,0 +1,73 @@
+// Package obsclient exercises the obssafety rules from the consumer
+// side: registration discipline on shared registries and nil-safe trace
+// handling.
+package obsclient
+
+import "obs"
+
+// reg is this package's shared registry.
+var reg = obs.NewRegistry()
+
+// hits is registered in a package-level var initializer — the blessed
+// place.
+var hits = reg.Counter("hits")
+
+func init() {
+	reg.GaugeFunc("depth", func() float64 { return 0 })
+}
+
+// bad: every call registers the series again on the shared registry.
+func recordMiss() {
+	reg.Counter("miss").Inc() // want `outside a package-level var or init`
+}
+
+// ok: a locally created registry is per-instance and may register
+// wherever construction happens.
+func localRegistry() {
+	r := obs.NewRegistry()
+	r.Counter("local").Inc()
+	r.Histogram("latency", nil).Observe(1)
+}
+
+// bad: field write on a possibly-nil trace.
+func annotate(tr *obs.QueryTrace) {
+	tr.CacheHit = true // want `without a nil guard`
+}
+
+// ok: guarded by the enclosing if.
+func annotateGuarded(tr *obs.QueryTrace) {
+	if tr != nil {
+		tr.CacheHit = true
+	}
+}
+
+// ok: dominated by an early-return guard.
+func annotateEarly(tr *obs.QueryTrace) {
+	if tr == nil {
+		return
+	}
+	tr.Stage = "ready"
+	tr.CacheHit = true
+}
+
+// ok: method calls are nil-safe by the obs contract.
+func step(tr *obs.QueryTrace) {
+	tr.Step("scan")
+}
+
+// bad: a literal trace has zero clocks; Step durations become garbage.
+func fresh() *obs.QueryTrace {
+	return &obs.QueryTrace{} // want `composite literal`
+}
+
+// bad: the started trace can never be finished or reported.
+func discard() {
+	obs.StartTrace() // want `result discarded`
+}
+
+// ok: the normal shape.
+func trace() *obs.QueryTrace {
+	tr := obs.StartTrace()
+	tr.Step("begin")
+	return tr
+}

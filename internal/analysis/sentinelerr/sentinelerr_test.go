@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"vkgraph/internal/analysis/analysistest"
+	"vkgraph/internal/analysis/sentinelerr"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", sentinelerr.Analyzer, "sent", "sentuser")
+}

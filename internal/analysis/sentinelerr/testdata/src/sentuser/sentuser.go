@@ -1,0 +1,48 @@
+// Package sentuser exercises the cross-package sentinelerr rules: raw
+// foreign-sentinel returns and message-shadowing of the module-wide
+// sentinel table.
+package sentuser
+
+import (
+	"fmt"
+
+	"sent"
+)
+
+// Fetch is bad: it hands a foreign sentinel across its own package
+// boundary with no context.
+func Fetch(key string) error {
+	if key == "" {
+		return sent.ErrMissing // want `wrap it with fmt.Errorf`
+	}
+	return nil
+}
+
+// FetchWrapped adds context at the boundary — the required shape.
+func FetchWrapped(key string) error {
+	if key == "" {
+		return fmt.Errorf("fetch %q: %w", key, sent.ErrMissing)
+	}
+	return nil
+}
+
+// ok: unexported plumbing may pass the sentinel through raw; the
+// exported caller is where the wrap obligation sits.
+func fetch(key string) error {
+	if key == "" {
+		return sent.ErrMissing
+	}
+	return nil
+}
+
+// bad: the message shadows a module-wide sentinel from the known table
+// even though this package never imports its defining package.
+func lookupEntity(name string) error {
+	return fmt.Errorf("unknown entity %q", name) // want `vkg.ErrUnknownEntity`
+}
+
+// Deferred is ok: the inner return belongs to the func literal, not to
+// this exported function, so rule 3 does not apply to it.
+func Deferred() func() error {
+	return func() error { return sent.ErrMissing }
+}

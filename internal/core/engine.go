@@ -242,7 +242,9 @@ func (e *Engine) buildIndex() {
 // best-first search cannot know in advance which shards its shrinking bound
 // will touch.
 func (e *Engine) rlockShards() {
-	for _, sh := range e.shards {
+	var lc rtree.LockOrderCheck
+	for i, sh := range e.shards {
+		lc.Note(i)
 		sh.mu.RLock()
 	}
 }
@@ -287,7 +289,7 @@ func NewEngine(g *kg.Graph, m *embedding.Model, mode IndexMode, p Params) (*Engi
 	for _, name := range p.Attrs {
 		col, ok := g.AttrColumn(name)
 		if !ok {
-			return nil, fmt.Errorf("core: unknown attribute %q", name)
+			return nil, fmt.Errorf("core: %w: %q", ErrUnknownAttribute, name)
 		}
 		ps.RegisterAttr(name, col)
 	}
@@ -432,7 +434,9 @@ func (e *Engine) finishQuery(q rtree.Rect, doCrack bool, tr *obs.QueryTrace) {
 	e.idxQueries.Add(1)
 	var splits, nodes int
 	cracked := false
+	var lc rtree.LockOrderCheck
 	for i, sh := range e.shards {
+		lc.Note(i)
 		sh.mu.RLock()
 		needs := sh.tree.NeedsCrack(q)
 		sh.mu.RUnlock()

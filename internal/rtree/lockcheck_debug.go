@@ -1,0 +1,29 @@
+//go:build vkgdebug
+
+package rtree
+
+import "fmt"
+
+// LockOrderCheck is the vkgdebug implementation of the shard-lock order
+// assertion (see sharded.go): within one acquisition sequence, shard
+// locks must be taken in strictly ascending index order, the runtime
+// counterpart of the lockorder static analyzer's loop rule. Out-of-order
+// acquisition panics immediately, naming both indices, so a violation
+// fails the test that provoked it instead of deadlocking some later run.
+//
+// The zero value is ready to use; one value covers one acquisition
+// sequence and is not goroutine-safe (each locking loop declares its
+// own).
+type LockOrderCheck struct {
+	next int // 1 + the highest shard index noted so far
+}
+
+// Note records the acquisition of shard i, panicking unless i is above
+// every previously noted index. Gaps are fine — a probe loop may skip
+// shards — going backwards or repeating is not.
+func (c *LockOrderCheck) Note(i int) {
+	if i < c.next {
+		panic(fmt.Sprintf("rtree: shard lock order violation: shard %d acquired after shard %d", i, c.next-1))
+	}
+	c.next = i + 1
+}

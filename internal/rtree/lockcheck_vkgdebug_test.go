@@ -1,0 +1,41 @@
+//go:build vkgdebug
+
+package rtree
+
+import "testing"
+
+func TestLockOrderCheckAscending(t *testing.T) {
+	var lc LockOrderCheck
+	for i := 0; i < 8; i++ {
+		lc.Note(i)
+	}
+}
+
+func TestLockOrderCheckAllowsGaps(t *testing.T) {
+	var lc LockOrderCheck
+	for _, i := range []int{0, 3, 7} {
+		lc.Note(i)
+	}
+}
+
+func TestLockOrderCheckPanicsOnRepeat(t *testing.T) {
+	var lc LockOrderCheck
+	lc.Note(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on repeated shard acquisition")
+		}
+	}()
+	lc.Note(2)
+}
+
+func TestLockOrderCheckPanicsOnDescent(t *testing.T) {
+	var lc LockOrderCheck
+	lc.Note(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on descending shard acquisition")
+		}
+	}()
+	lc.Note(1)
+}

@@ -9,6 +9,11 @@ package rtree
 // shard. The frame is captured once from the initial point set and must be
 // persisted with the trees: re-deriving it after inserts would re-route
 // points that were already assigned.
+//
+// Locking loops over the shards must acquire in ascending index order;
+// LockOrderCheck (lockcheck_debug.go / lockcheck_release.go) is the
+// build-tagged runtime assertion for that invariant — a no-op normally, a
+// panic on violation under -tags vkgdebug.
 
 // ShardRouter routes points to Morton-prefix shards.
 type ShardRouter struct {
