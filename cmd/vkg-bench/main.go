@@ -8,6 +8,9 @@
 //	vkg-bench -exp fig3                # one experiment at full scale
 //	vkg-bench -exp all -scale tiny     # smoke-run everything
 //	vkg-bench -batch -parallel 8       # serving throughput: serial vs DoBatch
+//	vkg-bench -serve-addr :8080 -dataset movie -scale tiny -parallel 16
+//	                                   # closed-loop HTTP load against vkg-serve:
+//	                                   # throughput, p50/p99 latency, shed rate
 //
 // Datasets and trained embeddings are cached under $VKG_CACHE (default:
 // <tmp>/vkgraph-cache), so the first run pays TransE training once and
@@ -32,15 +35,32 @@ func main() {
 		dataset  = flag.String("dataset", "movie", "dataset for -batch: freebase, movie, or amazon")
 		queries  = flag.Int("n", 2048, "number of queries for -batch")
 		topk     = flag.Int("k", 10, "result size for -batch queries")
-		parallel = flag.Int("parallel", 0, "worker-pool size for -batch (0 = GOMAXPROCS)")
+		parallel = flag.Int("parallel", 0, "worker-pool size for -batch, client count for -serve-addr (0 = GOMAXPROCS-derived)")
 		shards   = flag.Int("shards", 0, "spatial index shards for -batch (power of two; 0 = derive from GOMAXPROCS, 1 = unsharded)")
 		metrics  = flag.String("metrics-addr", "", "serve ops HTTP (Prometheus /metrics, pprof) on this address during -batch")
+
+		serveAddr = flag.String("serve-addr", "", "benchmark a running vkg-serve at this host:port instead of an in-process engine")
+		tenant    = flag.String("tenant", "", "tenant name for -serve-addr (optional when the server has one tenant)")
+		timeoutMS = flag.Int("timeout-ms", 0, "per-request timeout_ms for -serve-addr (0 = server default)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *serveAddr != "" {
+		sc, err := parseScale(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vkg-bench:", err)
+			os.Exit(2)
+		}
+		if err := runServeClient(os.Stdout, *serveAddr, *tenant, *dataset, sc, *queries, *topk, *parallel, *timeoutMS); err != nil {
+			fmt.Fprintf(os.Stderr, "vkg-bench: serve-addr: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

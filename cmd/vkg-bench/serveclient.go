@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vkgraph/internal/experiments"
+)
+
+// runServeClient is the -serve-addr mode: a closed-loop HTTP load generator
+// against a running vkg-serve. Each of `clients` workers issues one request
+// at a time from the paper's workload sampler (the same deterministic
+// generator the server's -gen tenant used, so entity/relation ids line up)
+// and waits for the answer before sending the next. It reports achieved
+// throughput, latency quantiles, and the shed rate — the serving layer's
+// three headline numbers under saturation.
+func runServeClient(w io.Writer, addr, tenant, dataset string, sc experiments.Scale, n, k, clients, timeoutMS int) error {
+	if clients <= 0 {
+		clients = 2 * runtime.GOMAXPROCS(0)
+	}
+	ds, err := experiments.LoadDataset(dataset, sc)
+	if err != nil {
+		return err
+	}
+	workload := experiments.Workload(ds.G, n, 99)
+
+	type body struct {
+		Tenant     string `json:"tenant,omitempty"`
+		TimeoutMS  int    `json:"timeout_ms,omitempty"`
+		Dir        string `json:"dir,omitempty"`
+		EntityID   int32  `json:"entity_id"`
+		RelationID int32  `json:"relation_id"`
+		K          int    `json:"k"`
+	}
+	payloads := make([][]byte, len(workload))
+	for i, q := range workload {
+		b := body{Tenant: tenant, TimeoutMS: timeoutMS, EntityID: int32(q.E), RelationID: int32(q.R), K: k}
+		if !q.Tail {
+			b.Dir = "heads"
+		}
+		buf, err := json.Marshal(b)
+		if err != nil {
+			return err
+		}
+		payloads[i] = buf
+	}
+
+	url := "http://" + addr + "/v1/query"
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+
+	var (
+		ok, shed, failed atomic.Int64
+		mu               sync.Mutex
+		lats             []time.Duration
+		firstErr         atomic.Value
+	)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []time.Duration
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(payloads) {
+					break
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(payloads[i]))
+				if err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, err.Error())
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					ok.Add(1)
+					mine = append(mine, time.Since(t0))
+				case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+					shed.Add(1)
+				default:
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Sprintf("HTTP %d", resp.StatusCode))
+				}
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	total := ok.Load() + shed.Load() + failed.Load()
+	fmt.Fprintf(w, "serve-addr %s  tenant %q  dataset %s  %d queries  %d clients\n",
+		addr, tenant, dataset, total, clients)
+	fmt.Fprintf(w, "  wall %v  throughput %.0f q/s (answered %.0f q/s)\n",
+		wall.Round(time.Millisecond), float64(total)/wall.Seconds(), float64(ok.Load())/wall.Seconds())
+	fmt.Fprintf(w, "  ok %d  shed %d (%.1f%%)  failed %d\n",
+		ok.Load(), shed.Load(), 100*float64(shed.Load())/float64(total), failed.Load())
+	if e := firstErr.Load(); e != nil {
+		fmt.Fprintf(w, "  first failure: %v\n", e)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		fmt.Fprintf(w, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
+			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d requests failed", failed.Load())
+	}
+	return nil
+}

@@ -47,6 +47,8 @@ var KnownSentinels = map[string]string{
 	"unknown attribute":            "vkg.ErrUnknownAttribute",
 	"corrupt snapshot":             "snapfmt.ErrCorrupt (vkg.ErrCorruptSnapshot)",
 	"unsupported snapshot version": "snapfmt.ErrVersion (vkg.ErrVersion)",
+	"server overloaded":            "vkg.ErrOverloaded",
+	"deadline exceeded":            "vkg.ErrDeadlineExceeded",
 }
 
 func run(pass *analysis.Pass) error {

@@ -41,6 +41,18 @@ func lookupEntity(name string) error {
 	return fmt.Errorf("unknown entity %q", name) // want `vkg.ErrUnknownEntity`
 }
 
+// bad: a load-shedding path minting its own "server overloaded" error is
+// invisible to errors.Is(err, vkg.ErrOverloaded).
+func shed(inflight int) error {
+	return fmt.Errorf("server overloaded: %d in flight", inflight) // want `vkg.ErrOverloaded`
+}
+
+// bad: same for the deadline sentinel — a handler that re-states the
+// message instead of wrapping vkg.ErrDeadlineExceeded breaks 504 mapping.
+func expire(name string) error {
+	return fmt.Errorf("deadline exceeded serving %q", name) // want `vkg.ErrDeadlineExceeded`
+}
+
 // Deferred is ok: the inner return belongs to the func literal, not to
 // this exported function, so rule 3 does not apply to it.
 func Deferred() func() error {

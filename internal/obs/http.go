@@ -59,7 +59,17 @@ func Handler(reg *Registry, slow *SlowLog) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, _ *http.Request) {
+	mux.Handle("/slowlog", SlowLogHandler(slow))
+	mux.HandleFunc("/", indexPage)
+	return mux
+}
+
+// SlowLogHandler serves the slow-query log as indented JSON — the /slowlog
+// page of Handler, reusable by servers that compose their own mux (the
+// multi-tenant serving layer mounts one per tenant). A nil slow serves an
+// empty document.
+func SlowLogHandler(slow *SlowLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		type entry struct {
 			Time      time.Time `json:"time"`
@@ -96,17 +106,17 @@ func Handler(reg *Registry, slow *SlowLog) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(out)
 	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("vkgraph ops endpoints:\n" +
-			"  /metrics      Prometheus text format\n" +
-			"  /debug/vars   expvar JSON\n" +
-			"  /debug/pprof/ pprof profiles\n" +
-			"  /slowlog      recent slow queries (JSON)\n"))
-	})
-	return mux
+}
+
+func indexPage(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("vkgraph ops endpoints:\n" +
+		"  /metrics      Prometheus text format\n" +
+		"  /debug/vars   expvar JSON\n" +
+		"  /debug/pprof/ pprof profiles\n" +
+		"  /slowlog      recent slow queries (JSON)\n"))
 }

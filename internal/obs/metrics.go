@@ -265,11 +265,24 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 // exposition format (version 0.0.4). HELP/TYPE headers are emitted at the
 // first metric of each family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusLabeled(w, nil)
+}
+
+// WritePrometheusLabeled renders the registry with extra constant labels
+// appended to every series — how a multi-tenant server exposes several
+// engine registries on one /metrics page, each stamped tenant="name". seen
+// carries family names whose HELP/TYPE headers were already emitted by an
+// earlier registry on the same page, so shared families keep a single
+// header; pass nil for a standalone page.
+func (r *Registry) WritePrometheusLabeled(w io.Writer, seen map[string]bool, extra ...Label) error {
 	r.mu.Lock()
 	metrics := append([]*metric(nil), r.metrics...)
 	r.mu.Unlock()
 
-	seen := make(map[string]bool)
+	if seen == nil {
+		seen = make(map[string]bool)
+	}
+	extraLabels := renderLabels(extra)
 	for _, m := range metrics {
 		if !seen[m.family] {
 			seen[m.family] = true
@@ -284,16 +297,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		}
-		if err := m.write(w); err != nil {
+		if err := m.write(w, extraLabels); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (m *metric) write(w io.Writer) error {
+func (m *metric) write(w io.Writer, extraLabels string) error {
 	series := func(suffix, extraLabel string) string {
 		labels := m.labels
+		if extraLabels != "" {
+			if labels != "" {
+				labels += ","
+			}
+			labels += extraLabels
+		}
 		if extraLabel != "" {
 			if labels != "" {
 				labels += ","

@@ -252,3 +252,38 @@ func ExampleRegistry_WritePrometheus() {
 	// # TYPE example_total counter
 	// example_total 2
 }
+
+// TestWritePrometheusLabeled: extra labels land on every series of the
+// registry (after any constant labels), and a shared seen map keeps
+// HELP/TYPE headers unique when several registries render one page.
+func TestWritePrometheusLabeled(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("vkg_requests_total", "Requests.", Label{"kind", "topk"}).Add(3)
+	a.Histogram("vkg_wait_seconds", "Wait.", []float64{1}).Observe(0.5)
+	b := NewRegistry()
+	b.Counter("vkg_requests_total", "Requests.", Label{"kind", "topk"}).Add(7)
+
+	var sb strings.Builder
+	seen := make(map[string]bool)
+	if err := a.WritePrometheusLabeled(&sb, seen, Label{"tenant", "movie"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePrometheusLabeled(&sb, seen, Label{"tenant", "amazon"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		`vkg_requests_total{kind="topk",tenant="movie"} 3`,
+		`vkg_requests_total{kind="topk",tenant="amazon"} 7`,
+		`vkg_wait_seconds_bucket{tenant="movie",le="1"} 1`,
+		`vkg_wait_seconds_count{tenant="movie"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# HELP vkg_requests_total"); got != 1 {
+		t.Errorf("HELP header for shared family emitted %d times, want 1:\n%s", got, out)
+	}
+}

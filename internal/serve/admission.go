@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"vkgraph/vkg"
+)
+
+// admission is the bounded in-flight semaphore with a short bounded wait
+// queue in front. The invariants the chaos test asserts live here:
+//
+//   - at most maxInFlight tokens are ever out (the slots channel bounds it
+//     structurally — there is no counter to race on);
+//   - at most queueDepth goroutines ever wait for a token, each for at most
+//     queueWait; everything beyond sheds immediately with an error wrapping
+//     vkg.ErrOverloaded, so saturation produces fast 429s, not latency.
+type admission struct {
+	slots      chan struct{}
+	waiters    atomic.Int64
+	queueDepth int64
+	queueWait  time.Duration
+	met        *metrics
+}
+
+func newAdmission(maxInFlight, queueDepth int, queueWait time.Duration, met *metrics) *admission {
+	return &admission{
+		slots:      make(chan struct{}, maxInFlight),
+		queueDepth: int64(queueDepth),
+		queueWait:  queueWait,
+		met:        met,
+	}
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue if
+// necessary. On success the caller must release. ctx cancellation while
+// queued returns ctx.Err() — the client gave up, which is not shedding.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.met.admitted.Inc()
+		a.met.inflight.Add(1)
+		return nil
+	default:
+	}
+
+	if a.waiters.Add(1) > a.queueDepth {
+		a.waiters.Add(-1)
+		a.met.shedFull.Inc()
+		return fmt.Errorf("serve: admission queue full: %w", vkg.ErrOverloaded)
+	}
+	a.met.queued.Add(1)
+	start := time.Now()
+	timer := time.NewTimer(a.queueWait)
+	defer func() {
+		timer.Stop()
+		a.met.queued.Add(-1)
+		a.waiters.Add(-1)
+		a.met.queueWait.Observe(time.Since(start).Seconds())
+	}()
+
+	select {
+	case a.slots <- struct{}{}:
+		a.met.admitted.Inc()
+		a.met.inflight.Add(1)
+		return nil
+	case <-timer.C:
+		a.met.shedWait.Inc()
+		return fmt.Errorf("serve: no capacity within %v: %w", a.queueWait, vkg.ErrOverloaded)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an in-flight slot. It is called from the goroutine
+// running the engine call, when that call returns — not from the handler,
+// which may have detached at its deadline long before.
+func (a *admission) release() {
+	a.met.inflight.Add(-1)
+	<-a.slots
+}

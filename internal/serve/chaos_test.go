@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vkgraph/vkg"
+)
+
+// chaoticBackend injects a random per-call latency and tracks peak
+// concurrency, so the test can assert the admission bound holds while
+// everything misbehaves around it.
+type chaoticBackend struct {
+	maxDelay time.Duration
+	cur      atomic.Int64
+	peak     atomic.Int64
+}
+
+func (b *chaoticBackend) track() func() {
+	cur := b.cur.Add(1)
+	for {
+		p := b.peak.Load()
+		if cur <= p || b.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	return func() { b.cur.Add(-1) }
+}
+
+func (b *chaoticBackend) sleep(ctx context.Context) error {
+	d := time.Duration(rand.Int63n(int64(b.maxDelay)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (b *chaoticBackend) Do(ctx context.Context, q vkg.Query) (*vkg.Result, error) {
+	defer b.track()()
+	if err := b.sleep(ctx); err != nil {
+		return nil, err
+	}
+	return &vkg.Result{TopK: &vkg.TopKResult{}}, nil
+}
+
+func (b *chaoticBackend) DoBatchWorkers(ctx context.Context, qs []vkg.Query, workers int) []vkg.Result {
+	defer b.track()()
+	out := make([]vkg.Result, len(qs))
+	if err := b.sleep(ctx); err != nil {
+		for i := range out {
+			out[i] = vkg.Result{Err: err}
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = vkg.Result{TopK: &vkg.TopKResult{}}
+	}
+	return out
+}
+
+// TestChaos is the issue's robustness criterion, meant to run under -race:
+// concurrent clients mixing valid queries, batches, oversized bodies,
+// client-side cancellations, and slow (injected-latency) queries against a
+// small admission bound, with a drain fired mid-storm. The server must
+// never deadlock, never answer an unexpected status, never let backend
+// concurrency exceed MaxInFlight, and always complete the drain.
+func TestChaos(t *testing.T) {
+	const (
+		maxInFlight = 3
+		clients     = 16
+		perClient   = 50
+	)
+	b := &chaoticBackend{maxDelay: 2 * time.Millisecond}
+	s := NewServer(Config{
+		MaxInFlight:    maxInFlight,
+		QueueDepth:     2,
+		QueueWait:      3 * time.Millisecond,
+		DefaultTimeout: 20 * time.Millisecond,
+		MaxTimeout:     50 * time.Millisecond,
+		DrainTimeout:   5 * time.Second,
+		MaxBodyBytes:   1 << 12,
+		MaxBatch:       8,
+	})
+	if err := s.AddTenant("chaos", &Tenant{Backend: b}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	allowed := map[int]bool{
+		http.StatusOK:                    true,
+		http.StatusTooManyRequests:       true,
+		http.StatusServiceUnavailable:    true, // draining
+		http.StatusGatewayTimeout:        true,
+		StatusClientClosedRequest:        true,
+		http.StatusRequestEntityTooLarge: true,
+	}
+	var unexpected atomic.Int64
+	var firstBad atomic.Value // string
+
+	post := func(ctx context.Context, path string, body interface{}) {
+		buf, _ := json.Marshal(body)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+path, bytes.NewReader(buf))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			return // client-side cancellation surfacing as a transport error
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if !allowed[resp.StatusCode] {
+			unexpected.Add(1)
+			firstBad.CompareAndSwap(nil, fmt.Sprintf("%s -> %d", path, resp.StatusCode))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) * 7919))
+			for i := 0; i < perClient; i++ {
+				switch roll := rng.Intn(100); {
+				case roll < 55: // plain query, server deadline
+					post(context.Background(), "/v1/query", idQuery(3))
+				case roll < 70: // batch sharing one slot
+					n := 1 + rng.Intn(4)
+					qs := make([]map[string]interface{}, n)
+					for j := range qs {
+						qs[j] = idQuery(2)
+					}
+					post(context.Background(), "/v1/batch", map[string]interface{}{"queries": qs})
+				case roll < 85: // client gives up almost immediately
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+rng.Intn(2))*time.Millisecond)
+					post(ctx, "/v1/query", idQuery(3))
+					cancel()
+				default: // oversized body
+					post(context.Background(), "/v1/query", map[string]interface{}{
+						"entity": strings.Repeat("x", 1<<13), "relation_id": 0, "k": 3,
+					})
+				}
+			}
+		}(c)
+	}
+
+	// Fire the drain mid-storm; clients still running just start seeing 503s.
+	time.Sleep(50 * time.Millisecond)
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- s.Drain(ctx)
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("clients did not finish: serving layer deadlocked")
+	}
+	select {
+	case err := <-drainErr:
+		if err != nil {
+			t.Errorf("drain during load: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+
+	if bad := unexpected.Load(); bad > 0 {
+		t.Errorf("%d unexpected statuses (first: %v)", bad, firstBad.Load())
+	}
+	if peak := b.peak.Load(); peak > maxInFlight {
+		t.Errorf("backend peak concurrency %d exceeds MaxInFlight %d", peak, maxInFlight)
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Errorf("in-flight gauge %d after drain, want 0", got)
+	}
+	if got := b.cur.Load(); got != 0 {
+		t.Errorf("backend still running %d calls after drain", got)
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+
+	"vkgraph/vkg"
+)
+
+// The wire types are the HTTP/JSON surface of the request API. Entities and
+// relations are addressed by name (resolved through the tenant's Resolver)
+// or directly by id; ids win when both are present. Field names are
+// snake_case and optional fields stay off the wire, so the minimal top-k
+// request reads:
+//
+//	{"entity": "user17", "relation": "likes", "k": 5}
+
+// wireQuery is one query on the wire; the zero value (like vkg.Query's) is
+// a tail top-k query.
+type wireQuery struct {
+	Kind          string   `json:"kind,omitempty"` // "topk" (default) or "aggregate"
+	Dir           string   `json:"dir,omitempty"`  // "tails" (default) or "heads"
+	Entity        string   `json:"entity,omitempty"`
+	EntityID      *int32   `json:"entity_id,omitempty"`
+	Relation      string   `json:"relation,omitempty"`
+	RelationID    *int32   `json:"relation_id,omitempty"`
+	K             int      `json:"k,omitempty"`
+	Epsilon       float64  `json:"epsilon,omitempty"`
+	ProbThreshold float64  `json:"prob_threshold,omitempty"`
+	Agg           *wireAgg `json:"agg,omitempty"`
+	Trace         bool     `json:"trace,omitempty"`
+}
+
+type wireAgg struct {
+	Kind          string  `json:"kind"` // count, sum, avg, max, min
+	Attr          string  `json:"attr,omitempty"`
+	MaxAccess     int     `json:"max_access,omitempty"`
+	ProbThreshold float64 `json:"prob_threshold,omitempty"`
+}
+
+// wireRequest is the POST /v1/query body: one query plus routing and
+// deadline fields.
+type wireRequest struct {
+	Tenant    string `json:"tenant,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	wireQuery
+}
+
+// wireBatchRequest is the POST /v1/batch body. The batch shares one
+// admission slot and one deadline.
+type wireBatchRequest struct {
+	Tenant    string      `json:"tenant,omitempty"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	Queries   []wireQuery `json:"queries"`
+}
+
+type wirePrediction struct {
+	Entity vkg.EntityID `json:"entity"`
+	Name   string       `json:"name,omitempty"`
+	Dist   float64      `json:"dist"`
+	Prob   float64      `json:"prob"`
+}
+
+type wireTopK struct {
+	Predictions    []wirePrediction `json:"predictions"`
+	RecallBound    float64          `json:"recall_bound"`
+	ExpectedMisses float64          `json:"expected_misses"`
+	Examined       int              `json:"examined"`
+}
+
+type wireAggResult struct {
+	Value    float64 `json:"value"`
+	Accessed int     `json:"accessed"`
+	BallSize int     `json:"ball_size"`
+}
+
+type wireTraceSpan struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
+}
+
+// wireResult is one answer: exactly one of TopK/Agg on success, Error (with
+// a machine-readable Code) on failure.
+type wireResult struct {
+	TopK  *wireTopK       `json:"topk,omitempty"`
+	Agg   *wireAggResult  `json:"agg,omitempty"`
+	Trace []wireTraceSpan `json:"trace,omitempty"`
+	Error string          `json:"error,omitempty"`
+	Code  string          `json:"code,omitempty"`
+}
+
+// wireBatchResponse answers POST /v1/batch: results in query order,
+// per-query failures in place.
+type wireBatchResponse struct {
+	Results []wireResult `json:"results"`
+}
+
+// toQuery lowers a wire query to a vkg.Query, resolving names through res.
+func toQuery(wq wireQuery, res Resolver) (vkg.Query, error) {
+	q := vkg.Query{
+		K:             wq.K,
+		Epsilon:       wq.Epsilon,
+		ProbThreshold: wq.ProbThreshold,
+		Trace:         wq.Trace,
+	}
+	switch wq.Kind {
+	case "", "topk":
+		q.Kind = vkg.TopK
+	case "aggregate", "agg":
+		q.Kind = vkg.Aggregate
+	default:
+		return q, fmt.Errorf("unknown kind %q (want topk or aggregate)", wq.Kind)
+	}
+	switch wq.Dir {
+	case "", "tails":
+		q.Dir = vkg.Tails
+	case "heads":
+		q.Dir = vkg.Heads
+	default:
+		return q, fmt.Errorf("unknown dir %q (want tails or heads)", wq.Dir)
+	}
+
+	switch {
+	case wq.EntityID != nil:
+		q.Entity = *wq.EntityID
+	case wq.Entity != "":
+		if res == nil {
+			return q, fmt.Errorf("tenant resolves no names; address entity by entity_id")
+		}
+		id, ok := res.EntityByName(wq.Entity)
+		if !ok {
+			return q, fmt.Errorf("entity %q: %w", wq.Entity, vkg.ErrUnknownEntity)
+		}
+		q.Entity = id
+	default:
+		return q, fmt.Errorf("missing entity (set entity or entity_id)")
+	}
+	switch {
+	case wq.RelationID != nil:
+		q.Relation = *wq.RelationID
+	case wq.Relation != "":
+		if res == nil {
+			return q, fmt.Errorf("tenant resolves no names; address relation by relation_id")
+		}
+		id, ok := res.RelationByName(wq.Relation)
+		if !ok {
+			return q, fmt.Errorf("relation %q: %w", wq.Relation, vkg.ErrUnknownRelation)
+		}
+		q.Relation = id
+	default:
+		return q, fmt.Errorf("missing relation (set relation or relation_id)")
+	}
+
+	if q.Kind == vkg.TopK {
+		if q.K <= 0 {
+			return q, fmt.Errorf("top-k query needs k > 0")
+		}
+		return q, nil
+	}
+	if wq.Agg == nil {
+		return q, fmt.Errorf("aggregate query needs an agg spec")
+	}
+	spec := vkg.AggSpec{
+		Attr:          wq.Agg.Attr,
+		MaxAccess:     wq.Agg.MaxAccess,
+		ProbThreshold: wq.Agg.ProbThreshold,
+	}
+	switch wq.Agg.Kind {
+	case "count":
+		spec.Kind = vkg.Count
+	case "sum":
+		spec.Kind = vkg.Sum
+	case "avg":
+		spec.Kind = vkg.Avg
+	case "max":
+		spec.Kind = vkg.Max
+	case "min":
+		spec.Kind = vkg.Min
+	default:
+		return q, fmt.Errorf("unknown aggregate kind %q (want count, sum, avg, max, or min)", wq.Agg.Kind)
+	}
+	q.Agg = spec
+	return q, nil
+}
+
+// fromResult lifts a vkg.Result onto the wire.
+func fromResult(res *vkg.Result) wireResult {
+	var out wireResult
+	if res == nil {
+		return out
+	}
+	if res.TopK != nil {
+		tk := &wireTopK{
+			Predictions:    make([]wirePrediction, 0, len(res.TopK.Predictions)),
+			RecallBound:    res.TopK.RecallBound,
+			ExpectedMisses: res.TopK.ExpectedMisses,
+			Examined:       res.TopK.Examined,
+		}
+		for _, p := range res.TopK.Predictions {
+			tk.Predictions = append(tk.Predictions, wirePrediction{Entity: p.Entity, Name: p.Name, Dist: p.Dist, Prob: p.Prob})
+		}
+		out.TopK = tk
+	}
+	if res.Agg != nil {
+		out.Agg = &wireAggResult{Value: res.Agg.Value, Accessed: res.Agg.Accessed, BallSize: res.Agg.BallSize}
+	}
+	if res.Trace != nil {
+		for _, s := range res.Trace.Spans {
+			out.Trace = append(out.Trace, wireTraceSpan{Stage: s.Stage, MS: float64(s.Dur.Microseconds()) / 1000})
+		}
+	}
+	return out
+}

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestDoBatchMixed exercises the unified request API end to end: a batch
@@ -433,5 +435,101 @@ func TestEpsilonOverride(t *testing.T) {
 	}
 	if wide.TopK.Examined < base.TopK.Examined {
 		t.Fatalf("eps=2.0 examined %d < eps=0.1 examined %d", wide.TopK.Examined, base.TopK.Examined)
+	}
+}
+
+// TestDoBatchWorkersCancel pins down the mid-batch cancellation contract
+// the serving layer depends on: cancelling ctx makes the workers exit
+// promptly without leaking goroutines, queries that already completed keep
+// their results, and the not-yet-started remainder fails in place with
+// context.Canceled.
+func TestDoBatchWorkersCancel(t *testing.T) {
+	g, ratesHigh, _ := buildTestGraph(t)
+	v, err := Build(g, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var users []EntityID
+	for i := 0; i < 80; i++ {
+		u, _ := g.EntityByName(fmt.Sprintf("user%d", i))
+		users = append(users, u)
+	}
+	// Distinct (entity, k) pairs defeat the result cache, so every query
+	// does real index work and a mid-flight cancel lands between queries.
+	mkBatch := func(n int) []Query {
+		qs := make([]Query, n)
+		for i := range qs {
+			qs[i] = Query{Entity: users[i%len(users)], Relation: ratesHigh, K: 2 + i/len(users)%8}
+		}
+		return qs
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// Already-cancelled context: nothing runs, everything fails in place.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pre := v.DoBatchWorkers(ctx, mkBatch(64), 4)
+	if len(pre) != 64 {
+		t.Fatalf("pre-cancelled batch returned %d results, want 64", len(pre))
+	}
+	for i, res := range pre {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("pre-cancelled batch query %d: err %v, want context.Canceled", i, res.Err)
+		}
+	}
+
+	// Mid-flight cancel. Timing decides how far the batch got, so retry
+	// until one run shows both sides of the contract: some queries
+	// completed with results, some were cut off with context.Canceled.
+	var completed, canceled int
+	for attempt := 0; attempt < 20; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan []Result, 1)
+		batch := mkBatch(512)
+		go func() { done <- v.DoBatchWorkers(ctx, batch, 4) }()
+		time.Sleep(time.Duration(attempt+1) * 500 * time.Microsecond)
+		cancel()
+		results := <-done
+		if len(results) != len(batch) {
+			t.Fatalf("got %d results for a %d-query batch", len(results), len(batch))
+		}
+		completed, canceled = 0, 0
+		for i, res := range results {
+			switch {
+			case res.Err == nil && res.TopK != nil:
+				completed++
+			case errors.Is(res.Err, context.Canceled):
+				canceled++
+			default:
+				t.Fatalf("query %d: err %v, topk %v — want a result or context.Canceled",
+					i, res.Err, res.TopK)
+			}
+		}
+		if completed > 0 && canceled > 0 {
+			break
+		}
+	}
+	if completed == 0 || canceled == 0 {
+		t.Fatalf("no run split the batch (completed %d, canceled %d); cannot observe mid-flight cancel", completed, canceled)
+	}
+
+	// The workers must be gone: a cancelled batch cannot leak goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > baseline %d long after cancelled batches returned",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And the engine still serves.
+	res, err := v.TopKTails(users[0], ratesHigh, 5)
+	if err != nil || len(res.Predictions) != 5 {
+		t.Fatalf("post-cancel query: %v, %d predictions", err, len(res.Predictions))
 	}
 }

@@ -1,6 +1,11 @@
 package vkg
 
-import "vkgraph/internal/core"
+import (
+	"context"
+	"errors"
+
+	"vkgraph/internal/core"
+)
 
 // Typed sentinel errors for query validation. Every error returned by a
 // query or update method that rejects an unknown id or attribute wraps one
@@ -21,3 +26,38 @@ var (
 	// not registered via WithAttributes (or an aggregate missing one).
 	ErrUnknownAttribute = core.ErrUnknownAttribute
 )
+
+// Serving-layer sentinels. The vkg-serve admission controller and deadline
+// plumbing classify failures with these; they live here (not in the serve
+// package) so library callers embedding the serving layer can match them
+// without importing it.
+var (
+	// ErrOverloaded reports a request shed by admission control: the
+	// server's in-flight bound and wait queue were both full (HTTP 429 at
+	// the serving boundary). The request was never admitted; retrying after
+	// a short backoff is safe.
+	ErrOverloaded = errors.New("server overloaded")
+
+	// ErrDeadlineExceeded reports a query that ran out of its per-request
+	// deadline (HTTP 504 at the serving boundary). It matches
+	// context.DeadlineExceeded through errors.Is in both directions: an
+	// error wrapping ErrDeadlineExceeded satisfies
+	// errors.Is(err, context.DeadlineExceeded), and the serving layer maps
+	// engine context.DeadlineExceeded failures onto this sentinel.
+	ErrDeadlineExceeded error = deadlineExceededError{}
+)
+
+// deadlineExceededError implements ErrDeadlineExceeded. Its Is method makes
+// errors.Is treat the sentinel as equivalent to context.DeadlineExceeded,
+// so one check classifies both the engine's raw context error and the
+// serving layer's wrapped form.
+type deadlineExceededError struct{}
+
+func (deadlineExceededError) Error() string { return "deadline exceeded" }
+
+func (deadlineExceededError) Is(target error) bool {
+	return target == context.DeadlineExceeded
+}
+
+// Timeout marks the error as a timeout for net.Error-style checks.
+func (deadlineExceededError) Timeout() bool { return true }

@@ -1,0 +1,41 @@
+package vkg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestServingSentinels pins the errors.Is contract of the serving-layer
+// sentinels: ErrDeadlineExceeded is interchangeable with
+// context.DeadlineExceeded under wrapping, and ErrOverloaded survives a
+// boundary wrap.
+func TestServingSentinels(t *testing.T) {
+	wrapped := fmt.Errorf("serve: query expired: %w", ErrDeadlineExceeded)
+	if !errors.Is(wrapped, ErrDeadlineExceeded) {
+		t.Error("wrapped ErrDeadlineExceeded does not match itself")
+	}
+	if !errors.Is(wrapped, context.DeadlineExceeded) {
+		t.Error("wrapped ErrDeadlineExceeded does not match context.DeadlineExceeded")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	if !errors.Is(ErrDeadlineExceeded, ctx.Err()) {
+		t.Error("ErrDeadlineExceeded does not match a real context deadline error")
+	}
+
+	shed := fmt.Errorf("serve: admission queue full: %w", ErrOverloaded)
+	if !errors.Is(shed, ErrOverloaded) {
+		t.Error("wrapped ErrOverloaded does not match")
+	}
+	if errors.Is(shed, ErrDeadlineExceeded) {
+		t.Error("ErrOverloaded must not match ErrDeadlineExceeded")
+	}
+
+	var to interface{ Timeout() bool }
+	if !errors.As(wrapped, &to) || !to.Timeout() {
+		t.Error("ErrDeadlineExceeded should report Timeout() == true")
+	}
+}

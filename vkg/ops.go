@@ -44,12 +44,23 @@ func (s *OpsServer) Close() error {
 // listener is accepting. The server runs until Close. Serving ops is
 // optional and has no effect on query cost: the hot-path counters are
 // always-on atomics, and the registry is only read at scrape time.
+//
+// The server is hardened against slow or hostile clients: header and
+// body reads are bounded, as is header size. There is deliberately no
+// WriteTimeout — pprof profile and trace responses stream for as long as
+// the client asked to sample.
 func (v *VKG) ServeOps(addr string) (*OpsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: v.OpsHandler()}
+	srv := &http.Server{
+		Handler:           v.OpsHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	return &OpsServer{ln: ln, srv: srv}, nil
 }
