@@ -26,6 +26,7 @@ import (
 	"vkgraph/internal/analysis/lockorder"
 	"vkgraph/internal/analysis/lostcancel"
 	"vkgraph/internal/analysis/obssafety"
+	"vkgraph/internal/analysis/sealedps"
 	"vkgraph/internal/analysis/sentinelerr"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		obssafety.Analyzer,
 		ctxpropagate.Analyzer,
 		lostcancel.Analyzer,
+		sealedps.Analyzer,
 	}
 	os.Exit(checker.Main(suite))
 }

@@ -1,0 +1,12 @@
+package sealedps_test
+
+import (
+	"testing"
+
+	"vkgraph/internal/analysis/analysistest"
+	"vkgraph/internal/analysis/sealedps"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", sealedps.Analyzer, "rtree")
+}

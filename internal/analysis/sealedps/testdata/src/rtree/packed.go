@@ -1,0 +1,21 @@
+package rtree
+
+type packedCols struct {
+	cols   [][]float32
+	maxAbs float64
+}
+
+// ok: packed.go is the mirror's home file.
+func (ps *PointSet) EnablePacked() {
+	if ps.packed != nil {
+		return
+	}
+	pc := &packedCols{cols: make([][]float32, ps.Dim)}
+	for i := 0; i < ps.N(); i++ {
+		row := ps.coords[i*ps.Dim : (i+1)*ps.Dim]
+		for d, v := range row {
+			pc.cols[d] = append(pc.cols[d], float32(v))
+		}
+	}
+	ps.packed = pc
+}

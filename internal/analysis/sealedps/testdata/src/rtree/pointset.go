@@ -1,0 +1,37 @@
+// Package rtree is a miniature of the real package: a sealed PointSet
+// whose layout only this file and packed.go may touch.
+package rtree
+
+type PointSet struct {
+	Dim int
+
+	coords    []float64
+	packed    *packedCols
+	attrNames []string
+	attrCols  [][]float64
+}
+
+// ok: pointset.go is a home file; layout access is its job.
+func (ps *PointSet) N() int { return len(ps.coords) / ps.Dim }
+
+func (ps *PointSet) At(i int32) []float64 {
+	return ps.coords[int(i)*ps.Dim : (int(i)+1)*ps.Dim]
+}
+
+func (ps *PointSet) SqDistTo(i int32, q []float64) float64 {
+	p := ps.At(i)
+	var s float64
+	for j, v := range q {
+		d := p[j] - v
+		s += d * d
+	}
+	return s
+}
+
+func (ps *PointSet) AttrValue(ai int, id int32) (float64, bool) {
+	col := ps.attrCols[ai]
+	if int(id) >= len(col) {
+		return 0, false
+	}
+	return col[id], true
+}

@@ -58,6 +58,13 @@ type Params struct {
 	// fully built tree never cracks, so there is no write-lock traffic to
 	// spread. NewEngine records the resolved value back into Params.
 	Shards int
+	// PackedCoords mirrors the S2 point coordinates as packed float32
+	// columns used as a conservative distance prefilter; every answer is
+	// re-ranked in exact float64 arithmetic, so results are byte-identical
+	// with the mirror on or off (DefaultParams enables it; this is the
+	// opt-out). Snapshots written before the field existed load with it
+	// off.
+	PackedCoords bool
 }
 
 // maxShards caps the shard count: beyond this, per-query overhead (one MBR
@@ -101,7 +108,7 @@ func shardBits(n int) int {
 // paper, eps = 0.75 (calibrated so precision@10 lands in the paper's
 // reported >= 0.95 band at alpha = 3), p_tau = 0.05.
 func DefaultParams() Params {
-	return Params{Alpha: 3, Eps: 0.75, PTau: 0.05, Seed: 1, Index: rtree.DefaultOptions()}
+	return Params{Alpha: 3, Eps: 0.75, PTau: 0.05, Seed: 1, Index: rtree.DefaultOptions(), PackedCoords: true}
 }
 
 // engineShard is one spatial shard of the index: a cracked tree over a
@@ -286,6 +293,9 @@ func NewEngine(g *kg.Graph, m *embedding.Model, mode IndexMode, p Params) (*Engi
 	tf := jl.New(m.Dim, p.Alpha, p.Seed)
 	coords := tf.ApplyAll(m.Entities)
 	ps := rtree.NewPointSet(p.Alpha, coords)
+	if p.PackedCoords {
+		ps.EnablePacked()
+	}
 	for _, name := range p.Attrs {
 		col, ok := g.AttrColumn(name)
 		if !ok {
@@ -362,12 +372,24 @@ func (e *Engine) IndexStats() rtree.Stats {
 		st.ExploredSplits += s.ExploredSplits
 		st.SizeBytes += s.SizeBytes
 		st.Points += s.Points
+		st.ArenaNodesInUse += s.ArenaNodesInUse
+		st.ArenaNodesFree += s.ArenaNodesFree
+		st.ArenaBytes += s.ArenaBytes
 		if s.Height > st.Height {
 			st.Height = s.Height
 		}
 	}
 	st.Queries = int(e.idxQueries.Load())
 	return st
+}
+
+// PackedBytes reports the memory held by the packed float32 coordinate
+// mirror (0 when PackedCoords is off). The mirror belongs to the shared
+// PointSet, so it is reported once, not per shard.
+func (e *Engine) PackedBytes() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ps.PackedBytes()
 }
 
 // CheckInvariants verifies every shard's structural invariants plus the

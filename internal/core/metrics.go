@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"runtime/metrics"
 	"strconv"
 
 	"vkgraph/internal/obs"
@@ -111,10 +113,101 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	r.GaugeFunc("vkg_index_nodes", "Current index node count.", func() float64 {
 		return float64(e.IndexStats().TotalNodes)
 	})
-	r.GaugeFunc("vkg_index_size_bytes", "Estimated index size in bytes.", func() float64 {
+	r.GaugeFunc("vkg_index_size_bytes", "Index size in bytes (arena slabs plus referenced heap).", func() float64 {
 		return float64(e.IndexStats().SizeBytes)
 	})
+
+	// Memory-layout gauges: the observable form of the "flat GC profile"
+	// claim — packed mirror size, arena occupancy, resident points, and the
+	// runtime's GC pause tail. The arena and point gauges are O(shards).
+	r.GaugeFunc("vkg_mem_packed_bytes", "Bytes held by the packed float32 coordinate mirror (0 when PackedCoords is off).", func() float64 {
+		return float64(e.PackedBytes())
+	})
+	r.GaugeFunc("vkg_mem_resident_points", "Points resident in the shared S2 point set (including tombstones).", func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return float64(e.ps.N())
+	})
+	r.GaugeFunc("vkg_mem_arena_nodes", "Index node-arena records, by state.", func() float64 {
+		inUse, _ := e.arenaNodes()
+		return float64(inUse)
+	}, obs.Label{Key: "state", Value: "inuse"})
+	r.GaugeFunc("vkg_mem_arena_nodes", "Index node-arena records, by state.", func() float64 {
+		_, free := e.arenaNodes()
+		return float64(free)
+	}, obs.Label{Key: "state", Value: "free"})
+	r.GaugeFunc("vkg_gc_pause_p99_seconds", "99th-percentile stop-the-world GC pause since process start (runtime/metrics).", gcPauseP99)
+	for i := range e.shards {
+		r.GaugeFunc("vkg_shard_packed_bytes", "Packed coordinate bytes attributed to a shard's live points, by shard.",
+			e.shardPackedBytesFunc(i), obs.Label{Key: "shard", Value: strconv.Itoa(i)})
+	}
 	return m
+}
+
+// arenaNodes sums arena occupancy across shards under the read locks.
+func (e *Engine) arenaNodes() (inUse, free int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.rlockShards()
+	defer e.runlockShards()
+	for _, sh := range e.shards {
+		u, f, _ := sh.tree.ArenaStats()
+		inUse += u
+		free += f
+	}
+	return inUse, free
+}
+
+// shardPackedBytesFunc attributes the shared packed mirror to shard i in
+// proportion to the points it owns (the mirror itself is one block over the
+// whole PointSet; see Engine.PackedBytes for the unsplit total).
+func (e *Engine) shardPackedBytesFunc(i int) func() float64 {
+	return func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		if !e.ps.Packed() {
+			return 0
+		}
+		sh := e.shards[i]
+		sh.mu.RLock()
+		owned := sh.tree.OwnedPoints()
+		sh.mu.RUnlock()
+		return float64(owned * e.ps.Dim * 4)
+	}
+}
+
+// gcPauseP99 reads the runtime's GC pause histogram and returns its 99th
+// percentile in seconds (0 before the first collection).
+func gcPauseP99() float64 {
+	sample := []metrics.Sample{{Name: "/gc/pauses:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := sample[0].Value.Float64Histogram()
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(float64(total) * 0.99)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Buckets has one more entry than Counts; the bucket's upper
+			// edge bounds the percentile. The boundary buckets' edges may
+			// be infinite — fall back to the finite edge.
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return 0
 }
 
 // Registry returns the engine's metric registry (for the ops HTTP handler
@@ -166,6 +259,15 @@ type MetricsSnapshot struct {
 	ShardWriteWait []obs.HistSnapshot
 	ShardCrackLock []obs.HistSnapshot
 
+	// Memory layout: the packed-mirror size, node-arena occupancy summed
+	// over shards, resident point count, and the runtime's GC pause tail —
+	// the observable side of the packed/arena storage.
+	PackedBytes     int
+	ArenaNodesInUse int
+	ArenaNodesFree  int
+	ResidentPoints  int
+	GCPauseP99      float64
+
 	Generation uint64
 }
 
@@ -181,6 +283,10 @@ func (e *Engine) MetricsSnapshot() MetricsSnapshot {
 		sww[i] = m.shardWriteWait[i].Snapshot()
 		scl[i] = m.shardCrackLock[i].Snapshot()
 	}
+	arenaInUse, arenaFree := e.arenaNodes()
+	e.mu.RLock()
+	packedBytes, resident := e.ps.PackedBytes(), e.ps.N()
+	e.mu.RUnlock()
 	return MetricsSnapshot{
 		TopKQueries:        m.topkQueries.Value(),
 		AggregateQueries:   m.aggQueries.Value(),
@@ -209,6 +315,11 @@ func (e *Engine) MetricsSnapshot() MetricsSnapshot {
 		Shards:             len(e.shards),
 		ShardWriteWait:     sww,
 		ShardCrackLock:     scl,
+		PackedBytes:        packedBytes,
+		ArenaNodesInUse:    arenaInUse,
+		ArenaNodesFree:     arenaFree,
+		ResidentPoints:     resident,
+		GCPauseP99:         gcPauseP99(),
 		Generation:         e.gen.Load(),
 	}
 }

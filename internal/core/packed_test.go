@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"vkgraph/internal/embedding"
+	"vkgraph/internal/kg/kggen"
+	"vkgraph/internal/snapfmt"
+)
+
+// TestPackedMatchesUnpacked is the packed-storage contract, the memory-
+// layout sibling of TestShardedMatchesUnsharded: the float32 mirror is a
+// conservative prefilter whose survivors are re-ranked in exact float64,
+// so enabling it must not change a single bit of any answer. Both engines
+// share one trained model and identical index parameters — the only
+// difference is PackedCoords — so here even the contour-statistics-derived
+// fields (VM, the MAX/MIN element bounds) must match exactly, not just the
+// ball-derived ones.
+func TestPackedMatchesUnpacked(t *testing.T) {
+	g := kggen.Movie(kggen.TinyMovieConfig())
+	cfg := embedding.DefaultConfig()
+	cfg.Epochs = 12
+	tr, err := embedding.Train(g, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	newEng := func(packed bool) *Engine {
+		p := defaultTestParams()
+		p.Shards = 2
+		p.PackedCoords = packed
+		eng, err := NewEngine(g, tr.Model, Crack, p)
+		if err != nil {
+			t.Fatalf("NewEngine(packed=%v): %v", packed, err)
+		}
+		return eng
+	}
+	packed := newEng(true)
+	plain := newEng(false)
+	if packed.PackedBytes() == 0 {
+		t.Fatal("packed engine reports zero PackedBytes")
+	}
+	if plain.PackedBytes() != 0 {
+		t.Fatalf("unpacked engine reports PackedBytes %d", plain.PackedBytes())
+	}
+
+	likes, _ := g.RelationByName("likes")
+	users := g.EntitiesOfType("user")
+	movies := g.EntitiesOfType("movie")
+
+	for _, u := range users[:30] {
+		a, err := packed.TopKTails(u, likes, 10)
+		if err != nil {
+			t.Fatalf("packed TopKTails(%d): %v", u, err)
+		}
+		b, err := plain.TopKTails(u, likes, 10)
+		if err != nil {
+			t.Fatalf("unpacked TopKTails(%d): %v", u, err)
+		}
+		if !reflect.DeepEqual(a.Predictions, b.Predictions) {
+			t.Fatalf("user %d: top-k diverges:\npacked   %v\nunpacked %v", u, a.Predictions, b.Predictions)
+		}
+	}
+	for _, m := range movies[:10] {
+		a, err := packed.TopKHeads(m, likes, 5)
+		if err != nil {
+			t.Fatalf("packed TopKHeads(%d): %v", m, err)
+		}
+		b, err := plain.TopKHeads(m, likes, 5)
+		if err != nil {
+			t.Fatalf("unpacked TopKHeads(%d): %v", m, err)
+		}
+		if !reflect.DeepEqual(a.Predictions, b.Predictions) {
+			t.Fatalf("movie %d: top-k heads diverge", m)
+		}
+	}
+
+	aggs := []AggQuery{
+		{Kind: Count},
+		{Kind: Sum, Attr: "year"},
+		{Kind: Avg, Attr: "year"},
+		{Kind: Avg, Attr: "year", MaxAccess: 5},
+		{Kind: Max, Attr: "year"},
+		{Kind: Min, Attr: "year"},
+	}
+	for _, u := range users[:10] {
+		for _, q := range aggs {
+			a, err := packed.AggregateTails(u, likes, q)
+			if err != nil {
+				t.Fatalf("packed %v: %v", q.Kind, err)
+			}
+			b, err := plain.AggregateTails(u, likes, q)
+			if err != nil {
+				t.Fatalf("unpacked %v: %v", q.Kind, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("user %d %v %q: results diverge:\npacked   %+v\nunpacked %+v", u, q.Kind, q.Attr, a, b)
+			}
+		}
+	}
+
+	if err := packed.CheckInvariants(); err != nil {
+		t.Fatalf("packed invariants: %v", err)
+	}
+	if err := plain.CheckInvariants(); err != nil {
+		t.Fatalf("unpacked invariants: %v", err)
+	}
+
+	// Both engines cracked identically; the structural stats must agree
+	// (the arena and packed-mirror gauges are layout-side and may differ).
+	ps, us := packed.IndexStats(), plain.IndexStats()
+	if ps.TotalNodes != us.TotalNodes || ps.BinarySplits != us.BinarySplits || ps.Height != us.Height {
+		t.Fatalf("index shapes diverge: packed %+v, unpacked %+v", ps, us)
+	}
+}
+
+// TestEngineSnapshotV2RoundTrip hand-builds a version-2 engine snapshot —
+// the wireSharded envelope with version-1 recursive tree blobs, exactly
+// what a pre-upgrade binary wrote — and checks the v3 reader takes it
+// without degrading, that the loaded engine answers like the original, and
+// that re-saving produces a version-3 snapshot that round-trips.
+func TestEngineSnapshotV2RoundTrip(t *testing.T) {
+	eng, g := testEngine(t, Crack, func() Params {
+		p := defaultTestParams()
+		p.Shards = 2
+		p.PackedCoords = false // a v2-era binary had no packed mirror
+		return p
+	}())
+	likes, _ := g.RelationByName("likes")
+	users := g.EntitiesOfType("user")
+	for _, u := range users[:10] {
+		if _, err := eng.TopKTails(u, likes, 5); err != nil {
+			t.Fatalf("warmup TopKTails: %v", err)
+		}
+	}
+
+	// Encode the v2 container by hand from the live engine's parts.
+	eng.prepareIndex()
+	var metaBuf, graphBuf, modelBuf, treeBuf bytes.Buffer
+	if err := gob.NewEncoder(&metaBuf).Encode(wireMeta{Params: eng.params, Mode: eng.mode}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.g.Save(&graphBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.m.Save(&modelBuf); err != nil {
+		t.Fatal(err)
+	}
+	ws := wireSharded{Bits: eng.router.Bits(), Queries: eng.idxQueries.Load()}
+	ws.FrameLo, ws.FrameHi = eng.router.Frame()
+	for i, sh := range eng.shards {
+		var b bytes.Buffer
+		if err := sh.tree.SaveLegacyV1(&b); err != nil {
+			t.Fatalf("SaveLegacyV1 shard %d: %v", i, err)
+		}
+		ws.Trees = append(ws.Trees, b.Bytes())
+	}
+	if err := gob.NewEncoder(&treeBuf).Encode(ws); err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := snapfmt.WriteHeader(&v2, engineMagic, 2, engineSections); err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range []struct {
+		kind    uint8
+		payload []byte
+	}{
+		{secMeta, metaBuf.Bytes()},
+		{secGraph, graphBuf.Bytes()},
+		{secModel, modelBuf.Bytes()},
+		{secTree, treeBuf.Bytes()},
+	} {
+		if err := snapfmt.WriteSection(&v2, sec.kind, sec.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	loaded, err := LoadEngine(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadEngine(v2): %v", err)
+	}
+	if loaded.IndexRebuilt() {
+		t.Fatal("v2 snapshot degraded to a cold rebuild")
+	}
+	if loaded.params.PackedCoords {
+		t.Fatal("v2 Params decoded with PackedCoords=true; old snapshots must keep their pre-upgrade behavior")
+	}
+	for _, u := range users[:10] {
+		a, err := eng.TopKTails(u, likes, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.TopKTails(u, likes, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Predictions, b.Predictions) {
+			t.Fatalf("user %d: v2-loaded engine answers differently", u)
+		}
+	}
+
+	// Re-save: the new snapshot must carry version 3 and round-trip.
+	var v3 bytes.Buffer
+	if err := loaded.Save(&v3); err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	version, _, err := snapfmt.ReadHeader(bytes.NewReader(v3.Bytes()), engineMagic, engineVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 3 {
+		t.Fatalf("re-saved snapshot has version %d, want 3", version)
+	}
+	again, err := LoadEngine(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadEngine(v3): %v", err)
+	}
+	if again.IndexRebuilt() {
+		t.Fatal("v3 snapshot degraded to a cold rebuild")
+	}
+	for _, u := range users[:5] {
+		a, _ := eng.TopKTails(u, likes, 5)
+		b, err := again.TopKTails(u, likes, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Predictions, b.Predictions) {
+			t.Fatalf("user %d: v3-loaded engine answers differently", u)
+		}
+	}
+}
+
+// TestSnapshotV3CarriesPacked: a packed engine's snapshot must come back
+// packed (the flag rides in Params; the mirror is rebuilt on load).
+func TestSnapshotV3CarriesPacked(t *testing.T) {
+	eng, g := testEngine(t, Crack, defaultTestParams())
+	if eng.PackedBytes() == 0 {
+		t.Fatal("default engine is not packed")
+	}
+	likes, _ := g.RelationByName("likes")
+	users := g.EntitiesOfType("user")
+	if _, err := eng.TopKTails(users[0], likes, 5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PackedBytes() != eng.PackedBytes() {
+		t.Fatalf("loaded engine PackedBytes %d, want %d", loaded.PackedBytes(), eng.PackedBytes())
+	}
+	a, _ := eng.TopKTails(users[0], likes, 5)
+	b, err := loaded.TopKTails(users[0], likes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Predictions, b.Predictions) {
+		t.Fatal("packed round trip changed answers")
+	}
+}

@@ -30,13 +30,18 @@ import (
 //
 // Format versions: version 1 stored a single tree blob in the index
 // section; version 2 stores a wireSharded envelope — the shard router's
-// Morton frame plus one embedded tree blob per shard. Version-1 snapshots
-// are still read (they load as a single-shard engine); new snapshots are
-// always written at version 2.
+// Morton frame plus one embedded tree blob per shard; version 3 is the
+// same envelope with the embedded tree blobs written in the rtree flat
+// format (and Params carrying the PackedCoords flag — the packed float32
+// mirror itself is derived data and is rebuilt on load, never persisted).
+// Version-1 and version-2 snapshots are still read (v1 loads as a
+// single-shard engine; v2 Params gob-decode with PackedCoords=false, so
+// old snapshots keep their exact pre-upgrade behavior); new snapshots are
+// always written at version 3.
 
 const (
 	engineMagic   = "VKGSNAP\x00"
-	engineVersion = 2
+	engineVersion = 3
 
 	secMeta  = 1
 	secGraph = 2
@@ -164,6 +169,9 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	tf := jl.New(m.Dim, p.Alpha, p.Seed)
 	coords := tf.ApplyAll(m.Entities)
 	ps := rtree.NewPointSet(p.Alpha, coords)
+	if p.PackedCoords {
+		ps.EnablePacked()
+	}
 	for _, name := range p.Attrs {
 		col, ok := g.AttrColumn(name)
 		if !ok {

@@ -41,3 +41,14 @@ func (t *Tree) Splits() int { return t.splits }
 // bulk build, and root materialization alike). O(1); same locking contract
 // as Splits.
 func (t *Tree) NodesCreated() int { return t.created }
+
+// ArenaStats reports the node arena's occupancy and slab memory. O(1);
+// same locking contract as Splits (unlike Stats, which walks the tree).
+func (t *Tree) ArenaStats() (inUse, free, slabBytes int) {
+	return t.arena.nodesInUse(), t.arena.nodesFree(), t.arena.slabBytes()
+}
+
+// OwnedPoints returns the number of live points the tree is responsible
+// for (initial subset plus inserts, minus tombstones). O(1); same locking
+// contract as Splits.
+func (t *Tree) OwnedPoints() int { return t.owned - len(t.deleted) }

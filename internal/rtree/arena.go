@@ -1,0 +1,121 @@
+package rtree
+
+import (
+	"math"
+	"unsafe"
+)
+
+// Node arena. Cracking used to allocate every tree node individually, so a
+// converged index was tens of thousands of pointer-chased heap objects the
+// GC traced on every cycle. The arena packs node records into fixed-size
+// slabs instead: each slab is one allocation of arenaSlabSize records plus
+// one float64 block backing all of its MBRs, so the GC sees two objects per
+// slab instead of hundreds, and records that are structurally adjacent
+// (children created by the same crack) are usually memory-adjacent too.
+//
+// Slabs are never reallocated, so *node pointers stay valid for the life of
+// the tree; every record also carries its arena index (slab*size+offset),
+// the address-free form a paged or persisted node format can use directly.
+// Released records (Delete pruning an emptied element) go on a freelist and
+// are handed out again before any new slab is carved.
+type nodeArena struct {
+	dim   int
+	slabs [][]node
+	free  []int32 // arena indices of released records
+	next  int     // records handed out from the newest slab
+	inUse int
+}
+
+// arenaSlabSize is the number of node records per slab: large enough that
+// slab overhead is noise, small enough that a tiny shard doesn't hold
+// megabytes.
+const arenaSlabSize = 256
+
+func newNodeArena(dim int) *nodeArena {
+	return &nodeArena{dim: dim, next: arenaSlabSize}
+}
+
+// at resolves an arena index to its record.
+func (a *nodeArena) at(idx int32) *node {
+	return &a.slabs[idx/arenaSlabSize][idx%arenaSlabSize]
+}
+
+// alloc hands out a cleared node record with an empty MBR, reusing the
+// freelist before carving new slab space.
+func (a *nodeArena) alloc() *node {
+	a.inUse++
+	if n := len(a.free); n > 0 {
+		idx := a.free[n-1]
+		a.free = a.free[:n-1]
+		nd := a.at(idx)
+		nd.reset(a.dim)
+		return nd
+	}
+	if a.next == arenaSlabSize {
+		slab := make([]node, arenaSlabSize)
+		backing := make([]float64, arenaSlabSize*2*a.dim)
+		base := int32(len(a.slabs)) * arenaSlabSize
+		for i := range slab {
+			off := i * 2 * a.dim
+			slab[i].idx = base + int32(i)
+			slab[i].mbr = Rect{
+				Lo: backing[off : off+a.dim : off+a.dim],
+				Hi: backing[off+a.dim : off+2*a.dim : off+2*a.dim],
+			}
+		}
+		a.slabs = append(a.slabs, slab)
+		a.next = 0
+	}
+	nd := &a.slabs[len(a.slabs)-1][a.next]
+	a.next++
+	nd.reset(a.dim)
+	return nd
+}
+
+// release returns a record to the freelist, dropping its references so the
+// contents it pointed at can be collected.
+func (a *nodeArena) release(nd *node) {
+	nd.children = nil
+	nd.leafIDs = nil
+	nd.part = nil
+	a.free = append(a.free, nd.idx)
+	a.inUse--
+}
+
+// nodesInUse and nodesFree report the arena occupancy; slabBytes the memory
+// retained by the slabs themselves (records plus MBR backing), which is the
+// true per-node footprint — node records have no individual heap identity.
+func (a *nodeArena) nodesInUse() int { return a.inUse }
+
+func (a *nodeArena) nodesFree() int {
+	if len(a.slabs) == 0 {
+		return 0
+	}
+	return len(a.free) + (arenaSlabSize - a.next)
+}
+
+func (a *nodeArena) slabBytes() int {
+	per := arenaSlabSize * (int(unsafe.Sizeof(node{})) + 2*a.dim*8)
+	return len(a.slabs) * per
+}
+
+// reset clears a record for reuse: no children, no leaf ids, no partition,
+// and an inverted MBR that the first Expand snaps to its point. The MBR
+// slices themselves are slab-backed and preserved.
+func (n *node) reset(dim int) {
+	n.children = nil
+	n.leafIDs = nil
+	n.part = nil
+	for i := 0; i < dim; i++ {
+		n.mbr.Lo[i] = math.Inf(1)
+		n.mbr.Hi[i] = math.Inf(-1)
+	}
+}
+
+// setMBR copies r into the node's slab-backed MBR. Node MBRs must never be
+// assigned by slice header (nd.mbr = r) — that would detach the record from
+// its slab backing; in-place mutation (Expand) is fine.
+func (n *node) setMBR(r Rect) {
+	copy(n.mbr.Lo, r.Lo)
+	copy(n.mbr.Hi, r.Hi)
+}

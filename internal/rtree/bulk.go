@@ -7,10 +7,12 @@ package rtree
 // "bulk-loading" baseline of Figures 3, 5, 7, 9-11.
 func NewBulkLoaded(ps *PointSet, opt Options) *Tree {
 	opt = opt.normalize()
-	t := &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), initialN: ps.N(), owned: ps.N()}
+	t := &Tree{ps: ps, opt: opt, arena: newNodeArena(ps.Dim),
+		scratch: make([]bool, ps.N()), initialN: ps.N(), owned: ps.N()}
 	if ps.N() == 0 {
 		t.created++
-		t.root = &node{mbr: EmptyRect(ps.Dim), leafIDs: []int32{}}
+		t.root = t.arena.alloc()
+		t.root.leafIDs = []int32{}
 		return t
 	}
 	t.root = t.buildFull(newRootPartition(ps, ps.N()))
@@ -23,7 +25,8 @@ func (t *Tree) buildFull(p *partition) *node {
 	p.computeMBR(t.ps)
 	t.created++
 	if p.count() <= t.opt.LeafCap {
-		nd := &node{part: p}
+		nd := t.arena.alloc()
+		nd.part = p
 		t.toLeaf(nd)
 		return nd
 	}
@@ -33,9 +36,10 @@ func (t *Tree) buildFull(p *partition) *node {
 	for _, cp := range parts {
 		children = append(children, t.buildFull(cp))
 	}
-	mbr := children[0].mbr.Clone()
-	for _, c := range children[1:] {
-		mbr.ExpandRect(c.mbr)
+	nd := t.arena.alloc()
+	for _, c := range children {
+		nd.mbr.ExpandRect(c.mbr)
 	}
-	return &node{mbr: mbr, children: children}
+	nd.children = children
+	return nd
 }

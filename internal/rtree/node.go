@@ -8,11 +8,16 @@ package rtree
 //     data and will be cracked on demand.
 //
 // The contour of Definition 2 is exactly the set of pending and leaf nodes.
+//
+// Records live in fixed-size arena slabs (see arena.go): idx is the
+// record's arena index, and mbr.Lo/Hi alias the slab's packed float64
+// backing — mutate the MBR in place (Expand/setMBR), never reassign it.
 type node struct {
 	mbr      Rect
 	children []*node
 	leafIDs  []int32
 	part     *partition
+	idx      int32 // arena index: slab*arenaSlabSize + offset
 }
 
 func (n *node) isInternal() bool { return n.children != nil }
@@ -55,22 +60,24 @@ func (n *node) countNodes() (internal, leaf, pending int) {
 	}
 }
 
-// sizeBytes estimates the subtree's in-memory footprint: per-node overhead,
-// MBR coordinates, child pointers, leaf entries, and pending sort orders.
+// sizeBytes sums the heap memory the subtree references beyond its arena
+// records: child-pointer lists, leaf id arrays, and pending partitions. The
+// records themselves (struct plus MBR backing) live in arena slabs and are
+// accounted once by nodeArena.slabBytes, so the two together are the true
+// footprint rather than the old per-pointer estimate.
 func (n *node) sizeBytes(dim int) int {
-	sz := 64 + 2*dim*8
 	switch {
 	case n.isLeaf():
-		sz += len(n.leafIDs) * 4
+		return cap(n.leafIDs) * 4
 	case n.isPending():
-		sz += n.part.sizeBytes(dim)
+		return n.part.sizeBytes(dim)
 	default:
-		sz += len(n.children) * 8
+		sz := cap(n.children) * 8
 		for _, c := range n.children {
 			sz += c.sizeBytes(dim)
 		}
+		return sz
 	}
-	return sz
 }
 
 // height returns the subtree height (leaves and pending elements are

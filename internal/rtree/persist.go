@@ -20,11 +20,20 @@ import (
 // The gob payload is wrapped in a snapfmt container (magic, version, CRC32)
 // so a torn or bit-rotted file is rejected with a typed error before any
 // byte reaches the decoder.
+//
+// Format versions: version 1 encoded the tree as a recursive wireNode gob —
+// one nested struct per node. Version 2 flattens the tree into packed
+// preorder arrays (kinds, child/entry counts, MBR coordinates, concatenated
+// id lists), mirroring the arena's index-addressed records: decoding is one
+// gob of a few flat slices, and nodes rebuild straight into arena slabs.
+// Version-1 blobs are still read; new blobs are written at version 2
+// (SaveLegacyV1 keeps the old writer for compatibility tests).
 
 const (
 	treeMagic   = "VKGRTREE"
-	treeVersion = 1
-	secTreeGob  = 1
+	treeVersion = 2
+	secTreeGob  = 1 // v1: recursive gob wireNode
+	secTreeFlat = 2 // v2: flat preorder packed arrays
 )
 
 type wireNode struct {
@@ -45,9 +54,75 @@ type wireTree struct {
 	Root     *wireNode
 }
 
+// wireFlat is the version-2 payload: the tree in preorder as packed
+// parallel arrays. Kinds[i] is node i's state (0 internal, 1 leaf,
+// 2 pending); Counts[i] its child count (internal) or entry count
+// (leaf/pending); Mbrs holds 2*dim coordinates per node (lo then hi); IDs
+// the concatenated leaf/pending id lists in preorder.
+type wireFlat struct {
+	Opt      Options
+	Splits   int
+	Explored int
+	Queries  int
+	InitialN int
+	Deleted  []int32
+	Kinds    []uint8
+	Counts   []int32
+	Mbrs     []float64
+	IDs      []int32
+}
+
 // Save writes the tree structure: a snapfmt header followed by one
-// checksummed gob section.
+// checksummed gob section in the flat version-2 format.
 func (t *Tree) Save(w io.Writer) error {
+	t.ensureRoot()
+	wf := wireFlat{
+		Opt:      t.opt,
+		Splits:   t.splits,
+		Explored: t.explored,
+		Queries:  int(t.queries.Load()),
+		InitialN: t.initialN,
+	}
+	for id := range t.deleted {
+		wf.Deleted = append(wf.Deleted, id)
+	}
+	var flatten func(nd *node)
+	flatten = func(nd *node) {
+		wf.Mbrs = append(wf.Mbrs, nd.mbr.Lo...)
+		wf.Mbrs = append(wf.Mbrs, nd.mbr.Hi...)
+		switch {
+		case nd.isInternal():
+			wf.Kinds = append(wf.Kinds, 0)
+			wf.Counts = append(wf.Counts, int32(len(nd.children)))
+			for _, c := range nd.children {
+				flatten(c)
+			}
+		case nd.isLeaf():
+			wf.Kinds = append(wf.Kinds, 1)
+			wf.Counts = append(wf.Counts, int32(len(nd.leafIDs)))
+			wf.IDs = append(wf.IDs, nd.leafIDs...)
+		default:
+			ids := nd.part.ids()
+			wf.Kinds = append(wf.Kinds, 2)
+			wf.Counts = append(wf.Counts, int32(len(ids)))
+			wf.IDs = append(wf.IDs, ids...)
+		}
+	}
+	flatten(t.root)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(wf); err != nil {
+		return fmt.Errorf("rtree: encode tree: %w", err)
+	}
+	if err := snapfmt.WriteHeader(w, treeMagic, treeVersion, 1); err != nil {
+		return err
+	}
+	return snapfmt.WriteSection(w, secTreeFlat, payload.Bytes())
+}
+
+// SaveLegacyV1 writes the deprecated version-1 recursive format. It exists
+// so compatibility tests can synthesize old snapshots; new code saves the
+// flat version-2 format via Save.
+func (t *Tree) SaveLegacyV1(w io.Writer) error {
 	t.ensureRoot()
 	wt := wireTree{
 		Opt:      t.opt,
@@ -64,7 +139,7 @@ func (t *Tree) Save(w io.Writer) error {
 	if err := gob.NewEncoder(&payload).Encode(wt); err != nil {
 		return fmt.Errorf("rtree: encode tree: %w", err)
 	}
-	if err := snapfmt.WriteHeader(w, treeMagic, treeVersion, 1); err != nil {
+	if err := snapfmt.WriteHeader(w, treeMagic, 1, 1); err != nil {
 		return err
 	}
 	return snapfmt.WriteSection(w, secTreeGob, payload.Bytes())
@@ -88,48 +163,56 @@ func encodeNode(nd *node) *wireNode {
 	return w
 }
 
-// Load reads a tree written by Save and attaches it to ps, which must hold
-// the same points the tree was built over (same embedding, same transform,
-// same seed). Pending elements rebuild their sort orders locally; this is
-// proportional to the pending mass only, far cheaper than re-cracking.
+// Load reads a tree written by Save (either format version) and attaches it
+// to ps, which must hold the same points the tree was built over (same
+// embedding, same transform, same seed). Pending elements rebuild their
+// sort orders locally; this is proportional to the pending mass only, far
+// cheaper than re-cracking.
 //
 // A stream with bad magic, a failed checksum, or a truncation returns an
 // error satisfying errors.Is(err, snapfmt.ErrCorrupt); an incompatible
 // format version returns one satisfying errors.Is(err, snapfmt.ErrVersion).
 func Load(r io.Reader, ps *PointSet) (*Tree, error) {
-	if _, _, err := snapfmt.ReadHeader(r, treeMagic, treeVersion); err != nil {
+	version, _, err := snapfmt.ReadHeader(r, treeMagic, treeVersion)
+	if err != nil {
 		return nil, fmt.Errorf("rtree: %w", err)
 	}
 	kind, payload, err := snapfmt.ReadSection(r)
 	if err != nil {
 		return nil, fmt.Errorf("rtree: %w", err)
 	}
-	if kind != secTreeGob {
-		return nil, fmt.Errorf("rtree: unexpected section %d: %w", kind, snapfmt.ErrCorrupt)
-	}
-	var wt wireTree
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wt); err != nil {
-		return nil, fmt.Errorf("rtree: decode tree: %v: %w", err, snapfmt.ErrCorrupt)
-	}
-	if wt.Root == nil {
-		return nil, fmt.Errorf("rtree: tree without root: %w", snapfmt.ErrCorrupt)
-	}
-	t := &Tree{
-		ps:       ps,
-		opt:      wt.Opt.normalize(),
-		scratch:  make([]bool, ps.N()),
-		splits:   wt.Splits,
-		explored: wt.Explored,
-		initialN: wt.InitialN,
-	}
-	t.queries.Store(int64(wt.Queries))
-	if len(wt.Deleted) > 0 {
-		t.deleted = make(map[int32]bool, len(wt.Deleted))
-		for _, id := range wt.Deleted {
-			t.deleted[id] = true
+	t := &Tree{ps: ps, arena: newNodeArena(ps.Dim), scratch: make([]bool, ps.N())}
+	switch {
+	case version == 1 && kind == secTreeGob:
+		var wt wireTree
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wt); err != nil {
+			return nil, fmt.Errorf("rtree: decode tree: %v: %w", err, snapfmt.ErrCorrupt)
 		}
+		if wt.Root == nil {
+			return nil, fmt.Errorf("rtree: tree without root: %w", snapfmt.ErrCorrupt)
+		}
+		t.opt = wt.Opt.normalize()
+		t.splits, t.explored, t.initialN = wt.Splits, wt.Explored, wt.InitialN
+		t.queries.Store(int64(wt.Queries))
+		t.setDeleted(wt.Deleted)
+		t.root, err = t.decodeNode(wt.Root)
+	case version == 2 && kind == secTreeFlat:
+		var wf wireFlat
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wf); err != nil {
+			return nil, fmt.Errorf("rtree: decode tree: %v: %w", err, snapfmt.ErrCorrupt)
+		}
+		t.opt = wf.Opt.normalize()
+		t.splits, t.explored, t.initialN = wf.Splits, wf.Explored, wf.InitialN
+		t.queries.Store(int64(wf.Queries))
+		t.setDeleted(wf.Deleted)
+		cur := &flatCursor{wf: &wf}
+		t.root, err = t.decodeFlat(cur)
+		if err == nil && (cur.node != len(wf.Kinds) || cur.id != len(wf.IDs) || cur.mbr != len(wf.Mbrs)) {
+			err = fmt.Errorf("rtree: trailing tree data: %w", snapfmt.ErrCorrupt)
+		}
+	default:
+		return nil, fmt.Errorf("rtree: unexpected section %d for version %d: %w", kind, version, snapfmt.ErrCorrupt)
 	}
-	t.root, err = t.decodeNode(wt.Root)
 	if err != nil {
 		return nil, err
 	}
@@ -140,12 +223,23 @@ func Load(r io.Reader, ps *PointSet) (*Tree, error) {
 	return t, nil
 }
 
+func (t *Tree) setDeleted(ids []int32) {
+	if len(ids) == 0 {
+		return
+	}
+	t.deleted = make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		t.deleted[id] = true
+	}
+}
+
 func (t *Tree) decodeNode(w *wireNode) (*node, error) {
 	if len(w.Lo) != t.ps.Dim || len(w.Hi) != t.ps.Dim {
 		return nil, fmt.Errorf("rtree: MBR dimension %d, point set %d: %w",
 			len(w.Lo), t.ps.Dim, snapfmt.ErrCorrupt)
 	}
-	nd := &node{mbr: Rect{Lo: w.Lo, Hi: w.Hi}}
+	nd := t.arena.alloc()
+	nd.setMBR(Rect{Lo: w.Lo, Hi: w.Hi})
 	switch w.Kind {
 	case 0:
 		if len(w.Children) == 0 {
@@ -174,9 +268,69 @@ func (t *Tree) decodeNode(w *wireNode) (*node, error) {
 			return nil, fmt.Errorf("rtree: empty pending element: %w", snapfmt.ErrCorrupt)
 		}
 		nd.part = newPartitionFromIDs(t.ps, w.IDs)
-		nd.part.mbr = nd.mbr
+		nd.part.mbr = Rect{Lo: w.Lo, Hi: w.Hi}
 	default:
 		return nil, fmt.Errorf("rtree: unknown node kind %d: %w", w.Kind, snapfmt.ErrCorrupt)
+	}
+	return nd, nil
+}
+
+// flatCursor tracks the decode position in each wireFlat array.
+type flatCursor struct {
+	wf   *wireFlat
+	node int // index into Kinds/Counts, and *2*dim into Mbrs
+	id   int // consumed prefix of IDs
+	mbr  int // consumed prefix of Mbrs
+}
+
+func (t *Tree) decodeFlat(c *flatCursor) (*node, error) {
+	wf := c.wf
+	if c.node >= len(wf.Kinds) || c.node >= len(wf.Counts) {
+		return nil, fmt.Errorf("rtree: truncated node array: %w", snapfmt.ErrCorrupt)
+	}
+	kind, cnt := wf.Kinds[c.node], int(wf.Counts[c.node])
+	c.node++
+	dim := t.ps.Dim
+	if cnt < 0 || c.mbr+2*dim > len(wf.Mbrs) {
+		return nil, fmt.Errorf("rtree: malformed node record: %w", snapfmt.ErrCorrupt)
+	}
+	nd := t.arena.alloc()
+	copy(nd.mbr.Lo, wf.Mbrs[c.mbr:c.mbr+dim])
+	copy(nd.mbr.Hi, wf.Mbrs[c.mbr+dim:c.mbr+2*dim])
+	c.mbr += 2 * dim
+	switch kind {
+	case 0:
+		if cnt == 0 {
+			return nil, fmt.Errorf("rtree: internal node without children: %w", snapfmt.ErrCorrupt)
+		}
+		nd.children = make([]*node, 0, cnt)
+		for i := 0; i < cnt; i++ {
+			child, err := t.decodeFlat(c)
+			if err != nil {
+				return nil, err
+			}
+			nd.children = append(nd.children, child)
+		}
+	case 1, 2:
+		if c.id+cnt > len(wf.IDs) {
+			return nil, fmt.Errorf("rtree: truncated id array: %w", snapfmt.ErrCorrupt)
+		}
+		ids := wf.IDs[c.id : c.id+cnt]
+		c.id += cnt
+		if err := t.checkIDs(ids); err != nil {
+			return nil, err
+		}
+		if kind == 1 {
+			nd.leafIDs = append([]int32{}, ids...)
+		} else {
+			if cnt == 0 {
+				return nil, fmt.Errorf("rtree: empty pending element: %w", snapfmt.ErrCorrupt)
+			}
+			nd.part = newPartitionFromIDs(t.ps, ids)
+			nd.part.mbr = nd.mbr.Clone()
+		}
+	default:
+		return nil, fmt.Errorf("rtree: unknown node kind %d: %w", kind, snapfmt.ErrCorrupt)
 	}
 	return nd, nil
 }

@@ -5,15 +5,27 @@ import (
 	"math"
 )
 
-// PointSet is the flat store of all indexed points in S2. Point i occupies
-// Coords[i*Dim : (i+1)*Dim]; the point index doubles as the entity id.
+// PointSet is the sealed flat store of all indexed points in S2. The
+// backing layout is private: point i's exact float64 coordinates live at
+// stride Dim in a row-major block, optionally mirrored by packed float32
+// columns (see packed.go) that the distance kernels use as a conservative
+// prefilter. All access goes through the accessor API — At, Coord,
+// SqDistTo, GatherSqDists, EachWithin, AttrValue — so the layout can change
+// without touching callers; the point index doubles as the entity id.
 //
 // Attribute columns (for aggregate queries) may be registered so that
 // contour elements can expose min/max/sum statistics, as the paper suggests
 // for estimating v_m in Theorem 4.
 type PointSet struct {
-	Dim    int
-	Coords []float64
+	Dim int
+
+	coords []float64 // row-major exact coordinates, the source of truth
+
+	// packed, when non-nil, mirrors coords as contiguous per-dimension
+	// float32 columns used only to skip points provably outside a distance
+	// bound; every reported distance is re-ranked in exact float64
+	// arithmetic, so enabling it never changes an answer.
+	packed *packedCols
 
 	attrNames []string
 	attrCols  [][]float64 // parallel to attrNames; indexed by point id
@@ -27,24 +39,24 @@ func NewPointSet(dim int, coords []float64) *PointSet {
 	if len(coords)%dim != 0 {
 		panic("rtree: coords length is not a multiple of dim")
 	}
-	return &PointSet{Dim: dim, Coords: coords}
+	return &PointSet{Dim: dim, coords: coords}
 }
 
 // N returns the number of points.
-func (ps *PointSet) N() int { return len(ps.Coords) / ps.Dim }
+func (ps *PointSet) N() int { return len(ps.coords) / ps.Dim }
 
 // At returns a view of point i's coordinates; the slice must not be
 // modified.
 func (ps *PointSet) At(i int32) []float64 {
-	return ps.Coords[int(i)*ps.Dim : (int(i)+1)*ps.Dim]
+	return ps.coords[int(i)*ps.Dim : (int(i)+1)*ps.Dim]
 }
 
 // Coord returns coordinate d of point i.
 func (ps *PointSet) Coord(i int32, d int) float64 {
-	return ps.Coords[int(i)*ps.Dim+d]
+	return ps.coords[int(i)*ps.Dim+d]
 }
 
-// SqDistTo returns the squared Euclidean distance from point i to q.
+// SqDistTo returns the exact squared Euclidean distance from point i to q.
 func (ps *PointSet) SqDistTo(i int32, q []float64) float64 {
 	p := ps.At(i)
 	var s float64
@@ -55,11 +67,56 @@ func (ps *PointSet) SqDistTo(i int32, q []float64) float64 {
 	return s
 }
 
+// GatherSqDists is the bulk form of SqDistTo: it fills out[j] with the
+// exact squared distance from point ids[j] to q. out must have len(ids)
+// elements. Callers that need many distances at once (leaf scans, seed
+// ranking) use this instead of indexing the backing store themselves.
+func (ps *PointSet) GatherSqDists(ids []int32, q []float64, out []float64) {
+	if len(out) != len(ids) {
+		panic("rtree: GatherSqDists output length mismatch")
+	}
+	dim := ps.Dim
+	for j, id := range ids {
+		row := ps.coords[int(id)*dim : int(id)*dim+dim]
+		var s float64
+		for d, v := range q {
+			dv := row[d] - v
+			s += dv * dv
+		}
+		out[j] = s
+	}
+}
+
+// AppendPoint adds a point to the PointSet and returns its id. The caller
+// must Insert the id into any tree built over the set.
+func (ps *PointSet) AppendPoint(coords []float64) int32 {
+	if len(coords) != ps.Dim {
+		panic(fmt.Sprintf("rtree: AppendPoint dimension %d, want %d", len(coords), ps.Dim))
+	}
+	id := int32(ps.N())
+	ps.coords = append(ps.coords, coords...)
+	if ps.packed != nil {
+		ps.packed.appendPoint(coords)
+	}
+	return id
+}
+
 // RegisterAttr attaches a named attribute column (indexed by point id, NaN
 // for missing). Contour elements lazily aggregate registered columns.
 func (ps *PointSet) RegisterAttr(name string, col []float64) {
 	ps.attrNames = append(ps.attrNames, name)
 	ps.attrCols = append(ps.attrCols, col)
+}
+
+// RefreshAttr re-binds a registered attribute column (needed when the
+// owning graph reallocated the column while growing it).
+func (ps *PointSet) RefreshAttr(name string, col []float64) {
+	for i, n := range ps.attrNames {
+		if n == name {
+			ps.attrCols[i] = col
+			return
+		}
+	}
 }
 
 // AttrIndex returns the registration index for attribute name, or -1.

@@ -121,7 +121,8 @@ func (r *ShardRouter) Assign(ps *PointSet, n int) [][]int32 {
 // grow through Insert).
 func NewCrackingSubset(ps *PointSet, opt Options, ids []int32) *Tree {
 	opt = opt.normalize()
-	t := &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), owned: len(ids)}
+	t := &Tree{ps: ps, opt: opt, arena: newNodeArena(ps.Dim),
+		scratch: make([]bool, ps.N()), owned: len(ids)}
 	if len(ids) > 0 {
 		t.initialIDs = append([]int32(nil), ids...)
 		t.initialN = len(ids)

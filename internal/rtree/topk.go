@@ -269,7 +269,8 @@ func (t *Tree) collectLevel(p *partition, m int, splitsOf map[*partition]*splitR
 func (t *Tree) materialize(p *partition, splitsOf map[*partition]*splitRec) *node {
 	p.computeMBR(t.ps)
 	t.created++
-	nd := &node{mbr: p.mbr}
+	nd := t.arena.alloc()
+	nd.setMBR(p.mbr)
 	if splitsOf[p] == nil || p.count() <= t.opt.LeafCap {
 		nd.part = p
 		if p.count() <= t.opt.LeafCap {

@@ -1,7 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -68,7 +67,8 @@ type Tree struct {
 	ps      *PointSet
 	opt     Options
 	root    *node
-	scratch []bool // point-id membership flags reused by splits
+	arena   *nodeArena // slab storage for every node of this tree
+	scratch []bool     // point-id membership flags reused by splits
 
 	splits   int          // binary splits applied to the tree
 	explored int          // hypothetical splits evaluated by the top-k search
@@ -111,7 +111,8 @@ type Tree struct {
 // Figure 3.
 func NewCracking(ps *PointSet, opt Options) *Tree {
 	opt = opt.normalize()
-	return &Tree{ps: ps, opt: opt, scratch: make([]bool, ps.N()), initialN: ps.N(), owned: ps.N()}
+	return &Tree{ps: ps, opt: opt, arena: newNodeArena(ps.Dim),
+		scratch: make([]bool, ps.N()), initialN: ps.N(), owned: ps.N()}
 }
 
 // ensureRoot materializes the root on first use.
@@ -121,7 +122,8 @@ func (t *Tree) ensureRoot() {
 	}
 	t.created++
 	if t.initialN == 0 {
-		t.root = &node{mbr: EmptyRect(t.ps.Dim), leafIDs: []int32{}}
+		t.root = t.arena.alloc()
+		t.root.leafIDs = []int32{}
 		return
 	}
 	var p *partition
@@ -131,7 +133,9 @@ func (t *Tree) ensureRoot() {
 	} else {
 		p = newRootPartition(t.ps, t.initialN)
 	}
-	t.root = &node{mbr: p.mbr, part: p}
+	t.root = t.arena.alloc()
+	t.root.setMBR(p.mbr)
+	t.root.part = p
 	if p.count() <= t.opt.LeafCap {
 		t.toLeaf(t.root)
 	}
@@ -157,7 +161,7 @@ func (t *Tree) Opt() Options { return t.opt }
 func (t *Tree) toLeaf(nd *node) {
 	ids := append([]int32(nil), nd.part.ids()...)
 	nd.part.computeMBR(t.ps)
-	nd.mbr = nd.part.mbr
+	nd.setMBR(nd.part.mbr)
 	nd.leafIDs = ids
 	nd.part = nil
 }
@@ -258,7 +262,9 @@ func (t *Tree) crackGreedy(nd *node, q Rect) {
 	for _, cp := range parts {
 		cp.computeMBR(t.ps)
 		t.created++
-		child := &node{mbr: cp.mbr, part: cp}
+		child := t.arena.alloc()
+		child.setMBR(cp.mbr)
+		child.part = cp
 		if cp.count() <= t.opt.LeafCap {
 			t.toLeaf(child)
 		}
@@ -359,15 +365,14 @@ func (t *Tree) NearestSeeds(q []float64, k int) []int32 {
 	t.ensureRoot()
 	var accIn, accLf, accPd uint64
 	out := make([]int32, 0, k)
-	pq := &nodeHeap{}
-	heap.Push(pq, nodeDist{n: t.root, d: t.root.mbr.MinSqDist(q)})
-	for pq.Len() > 0 && len(out) < k {
-		nd := heap.Pop(pq).(nodeDist).n
+	pq := nodeHeap{{n: t.root, d: t.root.mbr.MinSqDist(q)}}
+	for len(pq) > 0 && len(out) < k {
+		nd := pq.pop().n
 		switch {
 		case nd.isInternal():
 			accIn++
 			for _, c := range nd.children {
-				heap.Push(pq, nodeDist{n: c, d: c.mbr.MinSqDist(q)})
+				pq.push(nodeDist{n: c, d: c.mbr.MinSqDist(q)})
 			}
 		case nd.isLeaf():
 			accLf++
@@ -432,17 +437,46 @@ type nodeDist struct {
 	d float64
 }
 
+// nodeHeap is a min-heap on distance with concrete push/pop methods —
+// container/heap would box every nodeDist into an interface value, one heap
+// allocation per pushed node.
 type nodeHeap []nodeDist
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+func (h *nodeHeap) push(x nodeDist) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p].d <= s[i].d {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() nodeDist {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && s[r].d < s[l].d {
+			l = r
+		}
+		if s[i].d <= s[l].d {
+			break
+		}
+		s[i], s[l] = s[l], s[i]
+		i = l
+	}
+	return top
 }
 
 // ElementSummary describes one contour element overlapping a query ball,
@@ -518,9 +552,17 @@ type Stats struct {
 	// BinarySplits for the greedy build.
 	ExploredSplits int
 	Queries        int
-	SizeBytes      int
-	Height         int
-	Points         int
+	// SizeBytes is the true index footprint: arena slab bytes plus the heap
+	// memory nodes reference (child lists, leaf id arrays, pending
+	// partitions). It excludes the PointSet, which is shared across trees.
+	SizeBytes int
+	Height    int
+	Points    int
+	// ArenaNodesInUse/Free report the node-arena occupancy; ArenaBytes the
+	// slab memory retained (in-use and free records alike).
+	ArenaNodesInUse int
+	ArenaNodesFree  int
+	ArenaBytes      int
 }
 
 // Stats computes current structural statistics.
@@ -528,16 +570,19 @@ func (t *Tree) Stats() Stats {
 	t.ensureRoot()
 	in, lf, pd := t.root.countNodes()
 	return Stats{
-		InternalNodes:  in,
-		LeafNodes:      lf,
-		PendingNodes:   pd,
-		TotalNodes:     in + lf + pd,
-		BinarySplits:   t.splits,
-		ExploredSplits: t.splits + t.explored,
-		Queries:        int(t.queries.Load()),
-		SizeBytes:      t.root.sizeBytes(t.ps.Dim),
-		Height:         t.root.height(),
-		Points:         t.owned - len(t.deleted),
+		InternalNodes:   in,
+		LeafNodes:       lf,
+		PendingNodes:    pd,
+		TotalNodes:      in + lf + pd,
+		BinarySplits:    t.splits,
+		ExploredSplits:  t.splits + t.explored,
+		Queries:         int(t.queries.Load()),
+		SizeBytes:       t.arena.slabBytes() + t.root.sizeBytes(t.ps.Dim),
+		Height:          t.root.height(),
+		Points:          t.owned - len(t.deleted),
+		ArenaNodesInUse: t.arena.nodesInUse(),
+		ArenaNodesFree:  t.arena.nodesFree(),
+		ArenaBytes:      t.arena.slabBytes(),
 	}
 }
 
@@ -550,8 +595,13 @@ func (t *Tree) Stats() Stats {
 func (t *Tree) CheckInvariants() error {
 	t.ensureRoot()
 	seen := make(map[int32]int)
+	live := 0
 	var walk func(nd *node, depth int) error
 	walk = func(nd *node, depth int) error {
+		live++
+		if got := t.arena.at(nd.idx); got != nd {
+			return fmt.Errorf("node arena index %d resolves to a different record", nd.idx)
+		}
 		switch {
 		case nd.isInternal():
 			if len(nd.children) == 0 {
@@ -608,6 +658,9 @@ func (t *Tree) CheckInvariants() error {
 	}
 	if err := walk(t.root, 0); err != nil {
 		return err
+	}
+	if live != t.arena.nodesInUse() {
+		return fmt.Errorf("tree has %d nodes but arena reports %d in use", live, t.arena.nodesInUse())
 	}
 	if want := t.owned - len(t.deleted); len(seen) != want {
 		return fmt.Errorf("contour covers %d of %d live points", len(seen), want)

@@ -1,7 +1,6 @@
 package rtree
 
 import (
-	"fmt"
 	"sort"
 )
 
@@ -11,28 +10,6 @@ import (
 // elements absorb it into their sort orders, and a leaf that overflows
 // reverts to a pending element whose split is deferred until a query
 // actually needs it, exactly in the cracking spirit.
-
-// AppendPoint adds a point to the PointSet and returns its id. The caller
-// must Insert the id into any tree built over the set.
-func (ps *PointSet) AppendPoint(coords []float64) int32 {
-	if len(coords) != ps.Dim {
-		panic(fmt.Sprintf("rtree: AppendPoint dimension %d, want %d", len(coords), ps.Dim))
-	}
-	id := int32(ps.N())
-	ps.Coords = append(ps.Coords, coords...)
-	return id
-}
-
-// RefreshAttr re-binds a registered attribute column (needed when the
-// owning graph reallocated the column while growing it).
-func (ps *PointSet) RefreshAttr(name string, col []float64) {
-	for i, n := range ps.attrNames {
-		if n == name {
-			ps.attrCols[i] = col
-			return
-		}
-	}
-}
 
 // Insert adds point id (already appended to the PointSet) to the index.
 // The point descends along least-enlargement children as in a classical
@@ -54,11 +31,7 @@ func (t *Tree) Insert(id int32) {
 
 func (t *Tree) insertAt(nd *node, id int32) {
 	pt := t.ps.At(id)
-	if nd.mbr.IsEmpty() {
-		nd.mbr = NewRect(pt)
-	} else {
-		nd.mbr.Expand(pt)
-	}
+	nd.mbr.Expand(pt) // an empty (inverted) MBR snaps to pt
 	switch {
 	case nd.isInternal():
 		t.insertAt(chooseChild(nd.children, pt), id)
@@ -122,33 +95,44 @@ func insertSorted(ps *PointSet, p *partition, id int32) {
 // MBRs are not shrunk (they stay conservative supersets, which preserves
 // correctness); a later Crack rebuilds exact boxes for the touched region.
 // The point's coordinates remain in the PointSet as an unreferenced
-// tombstone.
+// tombstone. A leaf or pending element emptied by the removal is unlinked
+// from its parent and its record returned to the node arena's freelist —
+// with empty internal nodes pruned recursively — so churned regions recycle
+// records instead of growing the arena.
 func (t *Tree) Delete(id int32) bool {
 	if t.root == nil || int(id) >= t.ps.N() {
 		return false
 	}
 	pt := t.ps.At(id)
-	var del func(nd *node) bool
-	del = func(nd *node) bool {
+	// del reports (found, empty): whether the id was removed under nd, and
+	// whether nd holds no points afterwards and should be pruned.
+	var del func(nd *node) (bool, bool)
+	del = func(nd *node) (bool, bool) {
 		if !nd.mbr.Contains(pt) {
-			return false
+			return false, false
 		}
 		switch {
 		case nd.isInternal():
-			for _, c := range nd.children {
-				if del(c) {
-					return true
+			for i, c := range nd.children {
+				found, empty := del(c)
+				if !found {
+					continue
 				}
+				if empty {
+					nd.children = append(nd.children[:i], nd.children[i+1:]...)
+					t.arena.release(c)
+				}
+				return true, len(nd.children) == 0
 			}
-			return false
+			return false, false
 		case nd.isLeaf():
 			for i, v := range nd.leafIDs {
 				if v == id {
 					nd.leafIDs = append(nd.leafIDs[:i], nd.leafIDs[i+1:]...)
-					return true
+					return true, len(nd.leafIDs) == 0
 				}
 			}
-			return false
+			return false, false
 		default:
 			found := false
 			for s, order := range nd.part.orders {
@@ -163,15 +147,23 @@ func (t *Tree) Delete(id int32) bool {
 			if found {
 				nd.part.invalidateStats()
 			}
-			return found
+			return found, found && nd.part.count() == 0
 		}
 	}
-	if del(t.root) {
-		if t.deleted == nil {
-			t.deleted = make(map[int32]bool)
-		}
-		t.deleted[id] = true
-		return true
+	found, empty := del(t.root)
+	if !found {
+		return false
 	}
-	return false
+	if empty {
+		// The root is never released; an emptied tree reverts to the empty
+		// leaf state NewCracking would produce over zero points.
+		t.root.children = nil
+		t.root.part = nil
+		t.root.leafIDs = []int32{}
+	}
+	if t.deleted == nil {
+		t.deleted = make(map[int32]bool)
+	}
+	t.deleted[id] = true
+	return true
 }

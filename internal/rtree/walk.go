@@ -1,7 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -56,16 +55,20 @@ func WalkTreesWithin(trees []*Tree, q []float64, bound func() float64, visit fun
 			pq = append(pq, walkItem{n: t.root, d: d})
 		}
 	}
-	heap.Init(&pq)
+	pq.init()
 	walkLoop(first.ps, &pq, q, bound, visit, &accIn, &accLf, &accPd)
 }
 
 // walkLoop drains an initialized frontier in deterministic best-first order.
 // Trees sharing the frontier must share ps; LeafCap and friends are not
-// consulted, so mixed-option trees are fine.
+// consulted, so mixed-option trees are fine. Points enter the frontier
+// through PointSet.EachWithin, which re-ranks every emitted distance in
+// exact float64 arithmetic — the packed prefilter never changes which
+// points arrive or in what order.
 func walkLoop(ps *PointSet, pq *walkHeap, q []float64, bound func() float64, visit func(id int32, sqDist float64) bool, accIn, accLf, accPd *uint64) {
+	emit := func(id int32, d float64) { pq.push(walkItem{id: id, d: d}) }
 	for len(*pq) > 0 {
-		it := heap.Pop(pq).(walkItem)
+		it := pq.pop()
 		b := bound()
 		if it.d > b {
 			return // everything left is farther than the bound
@@ -81,23 +84,15 @@ func walkLoop(ps *PointSet, pq *walkHeap, q []float64, bound func() float64, vis
 			*accIn++
 			for _, c := range it.n.children {
 				if d := c.mbr.MinSqDist(q); d <= b {
-					heap.Push(pq, walkItem{n: c, d: d})
+					pq.push(walkItem{n: c, d: d})
 				}
 			}
 		case it.n.isLeaf():
 			*accLf++
-			pushPoints(ps, pq, it.n.leafIDs, q, b)
+			ps.EachWithin(it.n.leafIDs, q, b, emit)
 		default:
 			*accPd++
-			pushPoints(ps, pq, it.n.part.ids(), q, b)
-		}
-	}
-}
-
-func pushPoints(ps *PointSet, pq *walkHeap, ids []int32, q []float64, b float64) {
-	for _, id := range ids {
-		if d := ps.SqDistTo(id, q); d <= b {
-			heap.Push(pq, walkItem{id: id, d: d})
+			ps.EachWithin(it.n.part.ids(), q, b, emit)
 		}
 	}
 }
@@ -108,17 +103,19 @@ type walkItem struct {
 	d  float64
 }
 
+// walkHeap is the best-first frontier with concrete push/pop methods.
+// container/heap would box every walkItem into an interface value — one
+// heap allocation per pushed node and per pushed point, which used to be
+// the dominant allocation of the whole serving path.
 type walkHeap []walkItem
 
-func (h walkHeap) Len() int { return len(h) }
-
-// Less orders the frontier by ascending distance; at equal distance nodes
+// less orders the frontier by ascending distance; at equal distance nodes
 // come before points (so every point at distance d reaches the frontier
 // before any is visited) and point ties break by ascending id. The visit
 // order is therefore exactly ascending (distance, id) — a total order over
 // the data, independent of the tree structure — which keeps walks over
 // differently cracked (or differently sharded) trees bit-identical.
-func (h walkHeap) Less(i, j int) bool {
+func (h walkHeap) less(i, j int) bool {
 	if h[i].d != h[j].d {
 		return h[i].d < h[j].d
 	}
@@ -128,11 +125,50 @@ func (h walkHeap) Less(i, j int) bool {
 	}
 	return h[i].id < h[j].id
 }
-func (h walkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *walkHeap) Push(x interface{}) { *h = append(*h, x.(walkItem)) }
-func (h *walkHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+
+func (h *walkHeap) push(it walkItem) {
+	*h = append(*h, it)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *walkHeap) pop() walkItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s[:n].down(0)
+	return top
+}
+
+func (h walkHeap) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			l = r
+		}
+		if !h.less(l, i) {
+			return
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+}
+
+// init establishes the heap property over an unordered backing slice.
+func (h walkHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }

@@ -39,6 +39,19 @@ func FuzzSnapshotLoad(f *testing.F) {
 	flipped[len(flipped)-1] ^= 0xFF
 	f.Add(flipped)
 
+	// Seed 2b: a version-3 snapshot with the engine's four sections — the
+	// shape current engine snapshots have since packed storage landed.
+	var v3 bytes.Buffer
+	if err := WriteHeader(&v3, fuzzMagic, 3, 4); err != nil {
+		f.Fatal(err)
+	}
+	for kind := uint8(1); kind <= 4; kind++ {
+		if err := WriteSection(&v3, kind, bytes.Repeat([]byte{kind}, 64)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(v3.Bytes())
+
 	// Seed 3: version from the future.
 	var future bytes.Buffer
 	if err := WriteHeader(&future, fuzzMagic, 0xFFFF, 0); err != nil {
@@ -53,7 +66,7 @@ func FuzzSnapshotLoad(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
-		_, sections, err := ReadHeader(r, fuzzMagic, 2)
+		_, sections, err := ReadHeader(r, fuzzMagic, 3)
 		if err != nil {
 			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
 				t.Fatalf("ReadHeader returned unclassified error: %v", err)

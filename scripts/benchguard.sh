@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# benchguard.sh — benchmark-regression smoke for CI.
+#
+# Usage:
+#   scripts/benchguard.sh run <out.txt>              # run the guarded benchmark, save raw output
+#   scripts/benchguard.sh compare <base.txt> <head.txt> [max_allocs_regress_pct]
+#
+# `run` executes BenchmarkBatchServing at tiny scale with -benchmem and
+# writes the raw `go test` output to <out.txt>.
+#
+# `compare` parses allocs/op for every BenchmarkBatchServing sub-benchmark
+# present in both files and fails (exit 1) if any regressed by more than
+# max_allocs_regress_pct percent (default 10). ns/op regressions are
+# reported but only warn: shared CI runners make wall time too noisy for a
+# hard gate, while allocs/op is deterministic for this workload — it
+# counts allocation sites, not time — so it is the metric that catches a
+# reverted arena or a re-boxed heap.
+set -euo pipefail
+
+BENCH='BenchmarkBatchServing'
+SCALE="${VKG_BENCH_SCALE:-tiny}"
+COUNT="${BENCHGUARD_BENCHTIME:-5x}"
+
+cmd="${1:-}"
+case "$cmd" in
+run)
+    out="${2:?usage: benchguard.sh run <out.txt>}"
+    VKG_BENCH_SCALE="$SCALE" go test -run '^$' -bench "$BENCH" \
+        -benchmem -benchtime "$COUNT" . | tee "$out"
+    grep -q "$BENCH" "$out" || { echo "benchguard: no $BENCH results in output" >&2; exit 2; }
+    ;;
+compare)
+    base="${2:?usage: benchguard.sh compare <base.txt> <head.txt>}"
+    head_="${3:?usage: benchguard.sh compare <base.txt> <head.txt>}"
+    limit="${4:-10}"
+    # Emit "name allocs ns" per sub-benchmark from a raw go-test bench log.
+    extract() {
+        awk -v bench="$BENCH" '
+            $1 ~ "^"bench {
+                name=$1; allocs=""; ns=""
+                for (i = 2; i <= NF; i++) {
+                    if ($i == "allocs/op") allocs=$(i-1)
+                    if ($i == "ns/op")     ns=$(i-1)
+                }
+                if (allocs != "") print name, allocs, ns
+            }' "$1"
+    }
+    fail=0
+    while read -r name base_allocs base_ns; do
+        line=$(extract "$head_" | awk -v n="$name" '$1 == n {print; exit}')
+        [ -n "$line" ] || { echo "benchguard: $name missing from head run" >&2; continue; }
+        head_allocs=$(echo "$line" | awk '{print $2}')
+        head_ns=$(echo "$line" | awk '{print $3}')
+        awk -v b="$base_allocs" -v h="$head_allocs" -v lim="$limit" -v n="$name" '
+            BEGIN {
+                pct = (b > 0) ? (h - b) * 100.0 / b : 0
+                printf "%-45s allocs/op %12d -> %12d  (%+.1f%%)\n", n, b, h, pct
+                exit (pct > lim) ? 1 : 0
+            }' || { echo "  ^ FAIL: allocs/op regressed more than ${limit}%"; fail=1; }
+        awk -v b="$base_ns" -v h="$head_ns" -v n="$name" '
+            BEGIN {
+                pct = (b > 0) ? (h - b) * 100.0 / b : 0
+                if (pct > 25) printf "%-45s WARN: ns/op %+.1f%% (noisy metric, not gating)\n", n, pct
+            }'
+    done < <(extract "$base")
+    [ "$fail" -eq 0 ] || exit 1
+    echo "benchguard: allocs/op within ${limit}% of base for all $BENCH sub-benchmarks"
+    ;;
+*)
+    echo "usage: benchguard.sh run <out.txt> | compare <base.txt> <head.txt> [max_pct]" >&2
+    exit 2
+    ;;
+esac

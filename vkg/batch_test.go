@@ -484,6 +484,10 @@ func TestDoBatchWorkersCancel(t *testing.T) {
 	// completed with results, some were cut off with context.Canceled.
 	var completed, canceled int
 	for attempt := 0; attempt < 20; attempt++ {
+		// Results cached by earlier attempts would let the whole batch
+		// finish inside the sleep; drop them so every attempt does real
+		// index work and the cancel can land mid-flight.
+		v.ResetCache()
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan []Result, 1)
 		batch := mkBatch(512)

@@ -93,12 +93,35 @@ type Metrics struct {
 	ShardWriteLockWait []LatencyStats
 	ShardCrackLock     []LatencyStats
 
+	// Memory is the memory-layout view of the index: how many bytes the
+	// packed coordinate mirror occupies, the node-arena occupancy, the
+	// resident point count, and the runtime's recent GC pause tail.
+	Memory MemoryStats
+
 	// Index is the current index structure (also available via IndexStats).
 	Index IndexStats
 
 	// Generation is the graph mutation counter; cached answers are pinned
 	// to the generation they were computed at.
 	Generation uint64
+}
+
+// MemoryStats is the memory-layout block of Metrics (see WithPackedCoords
+// and the DESIGN.md "Memory layout" section).
+type MemoryStats struct {
+	// PackedBytes is the size of the packed float32 coordinate mirror
+	// (0 when WithPackedCoords(false)). The mirror is shared by all shards.
+	PackedBytes int
+	// ArenaNodesInUse and ArenaNodesFree count tree-node arena records,
+	// summed over shards; free records are reusable capacity already paid
+	// for (freelist plus the unallocated tail of the newest slab).
+	ArenaNodesInUse int
+	ArenaNodesFree  int
+	// ResidentPoints is the number of S2 points held by the point set.
+	ResidentPoints int
+	// GCPauseP99 is the 99th-percentile stop-the-world GC pause of this
+	// process since start, from runtime/metrics (0 before the first GC).
+	GCPauseP99 time.Duration
 }
 
 // CacheHitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -147,8 +170,15 @@ func (v *VKG) Metrics() Metrics {
 		Shards:             s.Shards,
 		ShardWriteLockWait: sww,
 		ShardCrackLock:     scl,
-		Index:              v.IndexStats(),
-		Generation:         s.Generation,
+		Memory: MemoryStats{
+			PackedBytes:     s.PackedBytes,
+			ArenaNodesInUse: s.ArenaNodesInUse,
+			ArenaNodesFree:  s.ArenaNodesFree,
+			ResidentPoints:  s.ResidentPoints,
+			GCPauseP99:      time.Duration(s.GCPauseP99 * float64(time.Second)),
+		},
+		Index:      v.IndexStats(),
+		Generation: s.Generation,
 	}
 }
 

@@ -192,20 +192,37 @@ type IndexStats struct {
 	PendingNodes  int
 	TotalNodes    int
 	BinarySplits  int
-	SizeBytes     int
-	Height        int
+	// SizeBytes estimates the index footprint: arena slab bytes plus the
+	// heap referenced by nodes (leaf id slices, pending partitions, child
+	// pointer slices). It excludes the point set and the packed mirror —
+	// see PackedBytes and Metrics().Memory.
+	SizeBytes int
+	Height    int
+
+	// ArenaNodesInUse/Free count node-arena records summed over shards;
+	// ArenaBytes is the slab memory backing them. PackedBytes is the size
+	// of the packed float32 coordinate mirror (shared by all shards; 0
+	// when WithPackedCoords(false)).
+	ArenaNodesInUse int
+	ArenaNodesFree  int
+	ArenaBytes      int
+	PackedBytes     int
 }
 
 // IndexStats returns current index statistics.
 func (v *VKG) IndexStats() IndexStats {
 	s := v.eng.IndexStats()
 	return IndexStats{
-		InternalNodes: s.InternalNodes,
-		LeafNodes:     s.LeafNodes,
-		PendingNodes:  s.PendingNodes,
-		TotalNodes:    s.TotalNodes,
-		BinarySplits:  s.BinarySplits,
-		SizeBytes:     s.SizeBytes,
-		Height:        s.Height,
+		InternalNodes:   s.InternalNodes,
+		LeafNodes:       s.LeafNodes,
+		PendingNodes:    s.PendingNodes,
+		TotalNodes:      s.TotalNodes,
+		BinarySplits:    s.BinarySplits,
+		SizeBytes:       s.SizeBytes,
+		Height:          s.Height,
+		ArenaNodesInUse: s.ArenaNodesInUse,
+		ArenaNodesFree:  s.ArenaNodesFree,
+		ArenaBytes:      s.ArenaBytes,
+		PackedBytes:     v.eng.PackedBytes(),
 	}
 }
