@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,8 @@ func runServeClient(w io.Writer, addr, tenant, dataset string, sc experiments.Sc
 		mu               sync.Mutex
 		lats             []time.Duration
 		firstErr         atomic.Value
+		slowest          time.Duration
+		slowestTrace     string
 	)
 	var next atomic.Int64
 	start := time.Now()
@@ -70,6 +73,8 @@ func runServeClient(w io.Writer, addr, tenant, dataset string, sc experiments.Sc
 		go func() {
 			defer wg.Done()
 			var mine []time.Duration
+			var mySlowest time.Duration
+			var myTrace string
 			for {
 				i := next.Add(1) - 1
 				if int(i) >= len(payloads) {
@@ -87,7 +92,14 @@ func runServeClient(w io.Writer, addr, tenant, dataset string, sc experiments.Sc
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					ok.Add(1)
-					mine = append(mine, time.Since(t0))
+					lat := time.Since(t0)
+					mine = append(mine, lat)
+					if lat > mySlowest {
+						// The server echoes a W3C traceparent on every answer;
+						// remembering the slowest one hands the operator the
+						// /traces/<id> handle for the worst request of the run.
+						mySlowest, myTrace = lat, resp.Header.Get("Traceparent")
+					}
 				case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
 					shed.Add(1)
 				default:
@@ -97,6 +109,9 @@ func runServeClient(w io.Writer, addr, tenant, dataset string, sc experiments.Sc
 			}
 			mu.Lock()
 			lats = append(lats, mine...)
+			if mySlowest > slowest {
+				slowest, slowestTrace = mySlowest, myTrace
+			}
 			mu.Unlock()
 		}()
 	}
@@ -119,6 +134,9 @@ func runServeClient(w io.Writer, addr, tenant, dataset string, sc experiments.Sc
 		fmt.Fprintf(w, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
 			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 			q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+		if parts := strings.SplitN(slowestTrace, "-", 4); len(parts) == 4 {
+			fmt.Fprintf(w, "  slowest request trace: %s  (/traces/%s)\n", parts[1], parts[1])
+		}
 	}
 	if failed.Load() > 0 {
 		return fmt.Errorf("%d requests failed", failed.Load())

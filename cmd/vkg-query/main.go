@@ -141,11 +141,14 @@ func resolve(g *vkg.Graph, entity, rel string) (vkg.EntityID, vkg.RelationID, er
 	return e, r, nil
 }
 
-func printTrace(tr *vkg.QueryTrace) {
-	if tr == nil {
+func printTrace(res *vkg.Result) {
+	if res.Trace == nil {
 		return
 	}
-	fmt.Printf("trace: %s\n", tr)
+	fmt.Printf("trace: %s\n", res.Trace)
+	if res.TraceID != "" {
+		fmt.Printf("trace id: %s  (/traces/%s on the ops endpoint)\n", res.TraceID, res.TraceID)
+	}
 }
 
 func runTopK(v *vkg.VKG, side, entity, rel string, k int, trace bool) error {
@@ -170,7 +173,7 @@ func runTopK(v *vkg.VKG, side, entity, rel string, k int, trace bool) error {
 		fmt.Printf("%3d. %-24s prob=%.4f dist=%.4f\n", i+1, p.Name, p.Prob, p.Dist)
 	}
 	if trace {
-		printTrace(res.Trace)
+		printTrace(res)
 	}
 	return nil
 }
@@ -218,7 +221,7 @@ func runAgg(v *vkg.VKG, side, entity, rel, kind, attr string, trace bool) error 
 		strings.ToUpper(kind), attr, side, entity, rel, a.Value,
 		a.Accessed, a.BallSize, 100*a.ConfidenceRadius(0.95), time.Since(start))
 	if trace {
-		printTrace(res.Trace)
+		printTrace(res)
 	}
 	return nil
 }

@@ -19,8 +19,11 @@
 //	curl -s localhost:8080/v1/query -d '{"tenant":"movie","entity":"user17","relation":"likes","k":5}'
 //
 // Operational surface: /healthz (liveness), /readyz (readiness — fails once
-// drain starts), /metrics (serving + per-tenant engine metrics), /slowlog,
-// /tenants, /debug/pprof. SIGTERM or SIGINT starts a graceful drain: the
+// drain starts), /metrics (serving + per-tenant engine metrics; OpenMetrics
+// with trace-id exemplars via Accept), /slowlog, /traces (retained request
+// traces; tail-kept errors and slow requests plus a -trace-head-rate sample
+// of the rest), /tenants, /debug/pprof. Every query response carries a
+// W3C Traceparent header; -access-log emits one JSON line per request. SIGTERM or SIGINT starts a graceful drain: the
 // listener stops accepting, in-flight queries get -drain-timeout to finish,
 // snapshots are written, and the process exits 0 on a clean drain.
 package main
@@ -30,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -74,6 +78,9 @@ func main() {
 		maxBody      = flag.Int64("max-body", 1<<20, "request body size cap in bytes")
 		maxBatch     = flag.Int("max-batch", 1024, "max queries per batch request")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		traceHead    = flag.Float64("trace-head-rate", 1.0/64, "fraction of fast, successful traces retained for /traces (errors and slow requests are always kept; <0 disables)")
+		traceSlow    = flag.Duration("trace-slow", 100*time.Millisecond, "latency above which a trace is always retained")
+		accessLog    = flag.String("access-log", "", "write one JSON line per request to this file ('-' for stderr)")
 	)
 	flag.Var(&snapshots, "snapshot", "serve an engine snapshot as a tenant: name=path (repeatable; saved back on drain)")
 	flag.Var(&gens, "gen", "serve a generated dataset as a tenant: name=dataset:scale, e.g. movie=movie:tiny (repeatable)")
@@ -86,6 +93,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("opening access log %s: %v", *accessLog, err)
+		}
+		defer f.Close()
+		accessW = f
+	}
+
+	headRate := *traceHead
+	if headRate < 0 {
+		headRate = -1 // Config treats negative as "head sampling off"
+	}
 	s := serve.NewServer(serve.Config{
 		MaxInFlight:    *maxInFlight,
 		QueueDepth:     *queueDepth,
@@ -96,6 +121,9 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxBatch:       *maxBatch,
 		RetryAfter:     *retryAfter,
+		TraceHeadRate:  headRate,
+		TraceSlow:      *traceSlow,
+		AccessLog:      accessW,
 	})
 
 	savePaths := map[string]string{}

@@ -8,17 +8,19 @@
 //     families corrupt the Prometheus exposition. (Registries created
 //     locally — the engine's per-instance registry — register wherever
 //     they like.)
-//  2. Every pointer-receiver method on obs.QueryTrace must begin with a
-//     nil-receiver guard: "A nil *QueryTrace is valid and every method is
-//     a no-op on it" is the documented contract the untraced hot path
-//     relies on.
+//  2. Every exported pointer-receiver method on obs.QueryTrace and
+//     obs.TraceStore must begin with a nil-receiver guard: "a nil receiver
+//     is valid and every method is a no-op on it" is the documented
+//     contract the untraced (and trace-store-less) hot paths rely on.
+//     Unexported methods are internal helpers reached only through guarded
+//     exported ones, so they may assume a live receiver.
 //  3. Outside the obs package, writes to fields of a *obs.QueryTrace must
 //     be guarded by a `tr != nil` check — methods are nil-safe, field
 //     assignments are not, and the common case is exactly tr == nil.
-//  4. Traces are constructed by obs.StartTrace(), never by composite
-//     literal: a literal leaves the unexported start/mark clocks zero and
-//     every Step duration becomes garbage. The StartTrace result must
-//     also not be discarded.
+//  4. Traces are constructed by obs.StartTrace()/StartTraceLinked(), never
+//     by composite literal: a literal leaves the unexported start/mark
+//     clocks zero and every Step duration becomes garbage. The constructor
+//     result must also not be discarded.
 package obssafety
 
 import (
@@ -31,7 +33,7 @@ import (
 // Analyzer enforces obs registration and nil-safe trace handling.
 var Analyzer = &analysis.Analyzer{
 	Name: "obssafety",
-	Doc:  "enforce init-time registration on shared registries and nil-safe *QueryTrace handling",
+	Doc:  "enforce init-time registration on shared registries and nil-safe trace/trace-store handling",
 	Run:  run,
 }
 
@@ -124,10 +126,20 @@ func inInitContext(pm *analysis.ParentMap, n ast.Node) bool {
 	return false
 }
 
-// checkNilGuard implements rule 2: pointer-receiver methods on QueryTrace
-// start with `if t == nil { ... }`.
+// nilSafeTypes are the obs types whose exported pointer-receiver methods
+// must be no-ops on a nil receiver: query traces (nil = the untraced fast
+// path) and trace stores (nil = tracing disabled).
+var nilSafeTypes = []string{"QueryTrace", "TraceStore"}
+
+// checkNilGuard implements rule 2: exported pointer-receiver methods on the
+// nil-safe types start with `if t == nil { ... }`. Unexported methods are
+// exempt — they are internal helpers reached only through guarded exported
+// methods, and forcing a redundant guard there would just hide bugs.
 func checkNilGuard(pass *analysis.Pass, fd *ast.FuncDecl) {
 	if fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+		return
+	}
+	if !fd.Name.IsExported() {
 		return
 	}
 	recvType, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
@@ -137,7 +149,14 @@ func checkNilGuard(pass *analysis.Pass, fd *ast.FuncDecl) {
 	if _, isPtr := recvType.Type.(*types.Pointer); !isPtr {
 		return
 	}
-	if !isObsType(recvType.Type, "QueryTrace") {
+	typeName := ""
+	for _, name := range nilSafeTypes {
+		if isObsType(recvType.Type, name) {
+			typeName = name
+			break
+		}
+	}
+	if typeName == "" {
 		return
 	}
 	recvName := ""
@@ -148,22 +167,25 @@ func checkNilGuard(pass *analysis.Pass, fd *ast.FuncDecl) {
 		if len(fd.Body.List) == 0 {
 			return // an empty body is trivially a no-op, nil or not
 		}
-		pass.Reportf(fd.Pos(), "method %s on *QueryTrace ignores its receiver; nil traces are the untraced fast path and every method must guard for them", fd.Name.Name)
+		pass.Reportf(fd.Pos(), "method %s on *%s ignores its receiver; a nil receiver is the disabled fast path and every exported method must guard for it", fd.Name.Name, typeName)
 		return
 	}
 	if len(fd.Body.List) > 0 && isNilReturnGuard(fd.Body.List[0], recvName) {
 		return
 	}
-	pass.Reportf(fd.Pos(), "method %s on *QueryTrace must begin with `if %s == nil` — a nil trace is valid and every method is documented as a no-op on it", fd.Name.Name, recvName)
+	pass.Reportf(fd.Pos(), "method %s on *%s must begin with `if %s == nil` — a nil receiver is valid and every exported method is documented as a no-op on it", fd.Name.Name, typeName, recvName)
 }
 
-// isNilReturnGuard matches `if name == nil { ...return... }`.
+// isNilReturnGuard matches `if name == nil { ...return... }`, including a
+// compound condition where the nil check is one `||` disjunct
+// (`if t == nil || leader.IsZero() { return }` still guards every
+// dereference below it).
 func isNilReturnGuard(stmt ast.Stmt, name string) bool {
 	ifStmt, ok := stmt.(*ast.IfStmt)
 	if !ok || ifStmt.Init != nil {
 		return false
 	}
-	if !isNilCheck(ifStmt.Cond, name, true) {
+	if !hasNilDisjunct(ifStmt.Cond, name) {
 		return false
 	}
 	if len(ifStmt.Body.List) == 0 {
@@ -171,6 +193,19 @@ func isNilReturnGuard(stmt ast.Stmt, name string) bool {
 	}
 	_, isReturn := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt)
 	return isReturn
+}
+
+// hasNilDisjunct reports whether cond is `name == nil` or an `||` chain
+// with `name == nil` as a disjunct.
+func hasNilDisjunct(cond ast.Expr, name string) bool {
+	if isNilCheck(cond, name, true) {
+		return true
+	}
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "||" {
+		return false
+	}
+	return hasNilDisjunct(be.X, name) || hasNilDisjunct(be.Y, name)
 }
 
 // isNilCheck matches `name == nil` (eq=true) or `name != nil` (eq=false).
@@ -257,14 +292,17 @@ func checkLiteralTrace(pass *analysis.Pass, lit *ast.CompositeLit) {
 	pass.Reportf(lit.Pos(), "QueryTrace built by composite literal: the unexported clocks stay zero and Step durations are wrong; use obs.StartTrace()")
 }
 
-// checkDiscardedStart implements rule 4 (discard half): obs.StartTrace()
-// as a bare statement.
+// checkDiscardedStart implements rule 4 (discard half): a trace
+// constructor called as a bare statement.
 func checkDiscardedStart(pass *analysis.Pass, pm *analysis.ParentMap, call *ast.CallExpr) {
 	obj := pass.ObjectOf(call.Fun)
-	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "obs" || obj.Name() != "StartTrace" {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return
+	}
+	if obj.Name() != "StartTrace" && obj.Name() != "StartTraceLinked" {
 		return
 	}
 	if _, ok := pm.Parent(call).(*ast.ExprStmt); ok {
-		pass.Reportf(call.Pos(), "obs.StartTrace() result discarded; the trace can never be finished or reported")
+		pass.Reportf(call.Pos(), "obs.%s() result discarded; the trace can never be finished or reported", obj.Name())
 	}
 }

@@ -98,3 +98,42 @@ func (*QueryTrace) Noop() {}
 func (*QueryTrace) Log() { // want `ignores its receiver`
 	println("trace")
 }
+
+// StartTraceLinked begins a trace joined to inbound context.
+func StartTraceLinked(parent string) *QueryTrace {
+	return &QueryTrace{start: time.Now(), Stage: parent}
+}
+
+// TraceStore is a bounded ring of retained traces. A nil *TraceStore is
+// valid — tracing disabled — and every exported method must be a no-op
+// on it.
+type TraceStore struct {
+	kept int
+}
+
+// Record is compliant: it opens with the nil guard.
+func (s *TraceStore) Record(tr *QueryTrace) {
+	if s == nil {
+		return
+	}
+	s.kept++
+}
+
+// Drop is compliant: the nil check is one disjunct of the opening guard.
+func (s *TraceStore) Drop(tr *QueryTrace) {
+	if s == nil || tr == nil {
+		return
+	}
+	s.kept--
+}
+
+// Len is bad: no nil guard, so the disabled path panics.
+func (s *TraceStore) Len() int { // want `must begin with .if s == nil.`
+	return s.kept
+}
+
+// reset is fine unguarded: unexported helpers are reached only through
+// guarded exported methods and may assume a live receiver.
+func (s *TraceStore) reset() {
+	s.kept = 0
+}

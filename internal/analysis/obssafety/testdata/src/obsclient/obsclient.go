@@ -65,6 +65,11 @@ func discard() {
 	obs.StartTrace() // want `result discarded`
 }
 
+// bad: the linked constructor is covered by the same rule.
+func discardLinked() {
+	obs.StartTraceLinked("00-abc-def-01") // want `result discarded`
+}
+
 // ok: the normal shape.
 func trace() *obs.QueryTrace {
 	tr := obs.StartTrace()

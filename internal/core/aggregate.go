@@ -143,7 +143,7 @@ func (e *Engine) aggregateQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, q A
 		return nil, err
 	}
 	e.met.aggQueries.Inc()
-	e.met.latAgg.Observe(time.Since(start).Seconds())
+	e.met.latAgg.ObserveExemplar(time.Since(start).Seconds(), tr.TraceID())
 	return res, nil
 }
 

@@ -196,6 +196,11 @@ type Engine struct {
 	// nil checks.
 	met *engineMetrics
 
+	// traces is the bounded store of retained query traces (tail-sampled:
+	// errors and slow queries always, a head-sampled fraction of the rest);
+	// always non-nil after initExec.
+	traces *obs.TraceStore
+
 	// degraded records that LoadEngine had to rebuild a cold index because
 	// the snapshot's index section was damaged.
 	degraded bool
@@ -206,6 +211,7 @@ type Engine struct {
 // called by both NewEngine and LoadEngine after the shards exist (the
 // per-shard metric histograms are sized from len(e.shards)).
 func (e *Engine) initExec() {
+	e.traces = obs.NewTraceStore(0)
 	e.met = newEngineMetrics(e)
 	e.cache = newResultCache(defaultCacheSize, e.met.cacheHits, e.met.cacheMisses)
 	e.inflight = make(map[topkKey]*inflightCall)
@@ -467,18 +473,24 @@ func (e *Engine) finishQuery(q rtree.Rect, doCrack bool, tr *obs.QueryTrace) {
 		}
 		t0 := time.Now()
 		sh.mu.Lock()
-		wait := time.Since(t0).Seconds()
-		e.met.lockWriteWait.Observe(wait)
-		e.met.shardWriteWait[i].Observe(wait)
+		wait := time.Since(t0)
+		e.met.lockWriteWait.Observe(wait.Seconds())
+		e.met.shardWriteWait[i].Observe(wait.Seconds())
 		if sh.tree.NeedsCrack(q) {
 			splits0, nodes0 := sh.tree.Splits(), sh.tree.NodesCreated()
 			c0 := time.Now()
 			sh.tree.Crack(q)
-			held := time.Since(c0).Seconds()
-			splits += sh.tree.Splits() - splits0
-			nodes += sh.tree.NodesCreated() - nodes0
-			e.met.crackLock.Observe(held)
-			e.met.shardCrackLock[i].Observe(held)
+			held := time.Since(c0)
+			ds := sh.tree.Splits() - splits0
+			dn := sh.tree.NodesCreated() - nodes0
+			splits += ds
+			nodes += dn
+			e.met.crackLock.Observe(held.Seconds())
+			e.met.shardCrackLock[i].Observe(held.Seconds())
+			// Per-shard child span: which shard this query write-locked, how
+			// long it waited for the lock, how long it held it, and the
+			// structural deltas — the shard-level anatomy of the crack stage.
+			tr.AddShardSpan(i, t0, wait, held, ds, dn)
 			cracked = true
 		}
 		sh.mu.Unlock()

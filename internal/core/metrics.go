@@ -107,6 +107,25 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		m.shardCrackLock[i] = r.Histogram("vkg_shard_crack_lock_seconds", "Time holding a shard's write lock to crack, by shard.", nil, lbl)
 	}
 
+	stats := func(f func(obs.TraceStoreStats) uint64) func() uint64 {
+		return func() uint64 { return f(e.traces.Stats()) }
+	}
+	r.CounterFunc("vkg_trace_records_offered_total", "Trace records offered to the trace store.",
+		stats(func(s obs.TraceStoreStats) uint64 { return s.Offered }))
+	r.CounterFunc("vkg_trace_records_kept_total", "Trace records retained, by the retention rule that fired.",
+		stats(func(s obs.TraceStoreStats) uint64 { return s.KeptForced }), obs.Label{Key: "reason", Value: "forced"})
+	r.CounterFunc("vkg_trace_records_kept_total", "Trace records retained, by the retention rule that fired.",
+		stats(func(s obs.TraceStoreStats) uint64 { return s.KeptTail }), obs.Label{Key: "reason", Value: "tail"})
+	r.CounterFunc("vkg_trace_records_kept_total", "Trace records retained, by the retention rule that fired.",
+		stats(func(s obs.TraceStoreStats) uint64 { return s.KeptSlow }), obs.Label{Key: "reason", Value: "slow"})
+	r.CounterFunc("vkg_trace_records_kept_total", "Trace records retained, by the retention rule that fired.",
+		stats(func(s obs.TraceStoreStats) uint64 { return s.KeptHead }), obs.Label{Key: "reason", Value: "head"})
+	r.CounterFunc("vkg_trace_records_evicted_total", "Retained trace records overwritten by newer ones.",
+		stats(func(s obs.TraceStoreStats) uint64 { return s.Evicted }))
+	r.GaugeFunc("vkg_trace_store_resident", "Trace records currently retained.", func() float64 {
+		return float64(e.traces.Len())
+	})
+
 	r.GaugeFunc("vkg_graph_generation", "Graph mutation counter (AddFact/InsertEntity).", func() float64 {
 		return float64(e.gen.Load())
 	})
@@ -219,6 +238,11 @@ func (e *Engine) Registry() *obs.Registry { return e.met.reg }
 // stage breakdown.
 func (e *Engine) SlowLog() *obs.SlowLog { return e.met.slow }
 
+// Traces returns the engine's trace store: the bounded ring of retained
+// query traces behind the /traces ops endpoint. Head sampling starts
+// disabled; servers arm it via Traces().SetHeadRate.
+func (e *Engine) Traces() *obs.TraceStore { return e.traces }
+
 // MetricsSnapshot is a structured point-in-time view of every engine
 // counter, suitable for programmatic consumption (vkg.Metrics wraps it).
 type MetricsSnapshot struct {
@@ -267,6 +291,9 @@ type MetricsSnapshot struct {
 	ArenaNodesFree  int
 	ResidentPoints  int
 	GCPauseP99      float64
+
+	// Traces are the trace store's retention counters.
+	Traces obs.TraceStoreStats
 
 	Generation uint64
 }
@@ -320,6 +347,7 @@ func (e *Engine) MetricsSnapshot() MetricsSnapshot {
 		ArenaNodesFree:     arenaFree,
 		ResidentPoints:     resident,
 		GCPauseP99:         gcPauseP99(),
+		Traces:             e.traces.Stats(),
 		Generation:         e.gen.Load(),
 	}
 }

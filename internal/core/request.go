@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -58,6 +59,16 @@ type Request struct {
 	// Trace requests a per-stage timing breakdown in Response.Trace. The
 	// exact-scan baseline (NoIndex) is never traced — it has no stages.
 	Trace bool
+	// TraceID joins the query to an existing request tree: the query's trace
+	// adopts this id (a zero id mints a fresh one) and hangs its span under
+	// ParentSpan. A non-zero id activates tracing even when Trace is false —
+	// a caller propagating trace context wants the spans collected.
+	TraceID    obs.TraceID
+	ParentSpan obs.SpanID
+	// TraceForced marks the trace for guaranteed retention in the trace
+	// store (set by the serving layer for sampled inbound traceparents and
+	// explicitly requested traces).
+	TraceForced bool
 }
 
 // Response is the answer to one Request: exactly one of TopK or Agg is set
@@ -76,8 +87,12 @@ type Response struct {
 // on done (or their own context) and share the leader's answer.
 type inflightCall struct {
 	done chan struct{}
-	res  *TopKResult
-	err  error
+	// leader is the leader's trace id (zero when the leader ran untraced),
+	// published under sfMu before the call is visible so followers can link
+	// their traces to the execution they shared.
+	leader obs.TraceID
+	res    *TopKResult
+	err    error
 }
 
 // Do answers one request. It checks ctx before executing; a nil ctx is
@@ -150,24 +165,57 @@ func (e *Engine) DoBatchWorkers(ctx context.Context, reqs []Request, workers int
 	return out
 }
 
-// startTrace returns a live trace when the request opted in or the
-// slow-query log is armed (slow entries need the stage breakdown), and nil
-// otherwise — the nil trace keeps the hot path at a single branch.
+// startTrace returns a live trace when the request opted in, carries
+// inbound trace context, or the slow-query log is armed (slow entries need
+// the stage breakdown), and nil otherwise — the nil trace keeps the hot
+// path at a single branch.
 func (e *Engine) startTrace(req Request) *obs.QueryTrace {
-	if req.Trace || e.met.slow.Enabled() {
-		return obs.StartTrace()
+	if req.Trace || !req.TraceID.IsZero() || e.met.slow.Enabled() {
+		return obs.StartTraceLinked(req.TraceID, req.ParentSpan, req.TraceForced)
 	}
 	return nil
 }
 
 // noteSlow files the finished trace in the slow-query log when its wall
-// time crosses the threshold. desc is built lazily — the common case is a
-// fast query and no formatting at all.
-func (e *Engine) noteSlow(tr *obs.QueryTrace, desc func() string) {
-	if tr == nil || !e.met.slow.Slow(tr.Wall) {
+// time crosses the threshold, and offers it to the trace store either way.
+// desc is built lazily — the common case is a fast query dropped by both
+// sinks, and then no formatting happens at all.
+func (e *Engine) noteSlow(tr *obs.QueryTrace, kind string, err error, desc func() string) {
+	if tr == nil {
 		return
 	}
-	e.met.slow.Record(desc(), tr.Wall, tr)
+	if e.met.slow.Slow(tr.Wall) {
+		e.met.slow.Record(desc(), tr.Wall, tr)
+	}
+	status := obs.TraceOK
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		status = obs.TraceCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		status = obs.TraceDeadline
+	default:
+		status = obs.TraceError
+	}
+	// Keep is deterministic in the record shape, so probing it first means
+	// the Detail string is only built for traces that will be retained.
+	if !e.traces.Keep(tr.TraceID(), tr.Forced(), status, tr.Wall) {
+		return
+	}
+	detail := desc()
+	if err != nil {
+		detail += " err=" + err.Error()
+	}
+	e.traces.Record(obs.TraceRecord{
+		ID:      tr.TraceID(),
+		Span:    tr.SpanID(),
+		Time:    tr.StartTime(),
+		Kind:    kind,
+		Status:  status,
+		Detail:  detail,
+		Latency: tr.Wall,
+		Trace:   tr,
+	})
 }
 
 // doTopK executes a top-k request through the cache and the in-flight
@@ -199,6 +247,9 @@ func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, *obs.Que
 			tr.CacheHit = true
 			tr.Step(obs.StageCache)
 			tr.Finish()
+			e.noteSlow(tr, "topk", nil, func() string {
+				return fmt.Sprintf("topk dir=%d ent=%d rel=%d k=%d eps=%g (cache hit)", req.Dir, req.Entity, req.Rel, req.K, eps)
+			})
 		}
 		return res, tr, nil
 	}
@@ -215,11 +266,15 @@ func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, *obs.Que
 		e.met.sfCoalesced.Inc()
 		if tr != nil {
 			tr.Coalesced = true
+			// Link this follower to the execution it shares — the cross-
+			// request edge a /traces reader follows to the descent that
+			// actually ran.
+			tr.LinkLeader(c.leader)
 		}
 		wait := func() (*TopKResult, *obs.QueryTrace, error) {
 			tr.Step(obs.StageWait)
 			tr.Finish()
-			e.noteSlow(tr, desc)
+			e.noteSlow(tr, "topk", c.err, desc)
 			return c.res, tr, c.err
 		}
 		if ctx == nil {
@@ -231,15 +286,17 @@ func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, *obs.Que
 			return wait()
 		case <-ctx.Done():
 			// The follower gives up, but its trace must still be finished
-			// and offered to the slow-query log: a cancelled wait is
-			// exactly the kind of latency outlier the log exists to catch.
+			// and offered to the slow-query log and trace store: a cancelled
+			// wait is exactly the kind of latency outlier they exist to catch.
 			tr.Step(obs.StageWait)
 			tr.Finish()
-			e.noteSlow(tr, desc)
+			e.noteSlow(tr, "topk", ctx.Err(), desc)
 			return nil, tr, ctx.Err()
 		}
 	}
-	c := &inflightCall{done: make(chan struct{})}
+	// The leader's trace id is published in the call slot before it becomes
+	// visible, so every follower can link to it.
+	c := &inflightCall{done: make(chan struct{}), leader: tr.TraceID()}
 	e.inflight[key] = c
 	e.sfMu.Unlock()
 
@@ -252,7 +309,7 @@ func (e *Engine) doTopK(ctx context.Context, req Request) (*TopKResult, *obs.Que
 	e.sfMu.Unlock()
 	close(c.done)
 	tr.Finish()
-	e.noteSlow(tr, desc)
+	e.noteSlow(tr, "topk", c.err, desc)
 	return c.res, tr, c.err
 }
 
@@ -272,7 +329,7 @@ func (e *Engine) doAggregate(req Request) (*AggResult, *obs.QueryTrace, error) {
 	tr := e.startTrace(req)
 	res, err := e.aggregateQuery(req.Dir, req.Entity, req.Rel, req.Agg, eps, tr)
 	tr.Finish()
-	e.noteSlow(tr, func() string {
+	e.noteSlow(tr, "aggregate", err, func() string {
 		return fmt.Sprintf("agg %s dir=%d ent=%d rel=%d eps=%g", req.Agg.Kind, req.Dir, req.Entity, req.Rel, eps)
 	})
 	return res, tr, err

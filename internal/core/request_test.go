@@ -70,3 +70,112 @@ func TestCancelledFollowerTraced(t *testing.T) {
 		t.Fatalf("coalesced counter = %d, want 1", got)
 	}
 }
+
+// TestCoalescedFollowerLinksLeader pins the cross-request trace edge: a
+// follower that coalesces onto an in-flight leader records the leader's
+// trace id, so a /traces reader can walk from the follower to the descent
+// that actually ran.
+func TestCoalescedFollowerLinksLeader(t *testing.T) {
+	eng, g := testEngine(t, Crack, defaultTestParams())
+	likes, _ := g.RelationByName("likes")
+	u := g.EntitiesOfType("user")[0]
+
+	// Park a finished fake leader in the in-flight map with a known trace
+	// id; the follower coalesces and returns its shared answer immediately.
+	leaderID := obs.NewTraceID()
+	key := topkKey{dir: DirTail, ent: u, rel: likes, k: 5, eps: eng.params.Eps}
+	c := &inflightCall{done: make(chan struct{}), leader: leaderID, res: &TopKResult{}}
+	close(c.done)
+	eng.sfMu.Lock()
+	eng.inflight[key] = c
+	eng.sfMu.Unlock()
+	defer func() {
+		eng.sfMu.Lock()
+		delete(eng.inflight, key)
+		eng.sfMu.Unlock()
+	}()
+
+	res, tr, err := eng.doTopK(context.Background(), Request{
+		Kind: KindTopK, Dir: DirTail, Entity: u, Rel: likes, K: 5,
+		Trace: true, TraceForced: true,
+	})
+	if err != nil || res != c.res {
+		t.Fatalf("follower: res=%v err=%v, want the leader's result", res, err)
+	}
+	if tr == nil || !tr.Coalesced {
+		t.Fatal("follower trace missing or not marked coalesced")
+	}
+	if tr.LeaderTrace != leaderID {
+		t.Fatalf("LeaderTrace = %s, want leader %s", tr.LeaderTrace, leaderID)
+	}
+	// Forced retention: the follower's record is findable by its own id.
+	recs := eng.Traces().Find(tr.TraceID())
+	if len(recs) != 1 || recs[0].Trace != tr {
+		t.Fatalf("trace store Find(%s) = %v, want the follower's record", tr.TraceID(), recs)
+	}
+	if recs[0].Trace.LeaderTrace != leaderID {
+		t.Fatal("retained record lost the leader link")
+	}
+}
+
+// TestTraceShardSpansAndPropagation pins the shard-level span tree and
+// inbound context adoption: the first query on a fresh engine cracks, so
+// its trace carries per-shard child spans hanging off the query span, and a
+// request carrying inbound trace context adopts the id and parent span.
+func TestTraceShardSpansAndPropagation(t *testing.T) {
+	eng, g := testEngine(t, Crack, defaultTestParams())
+	likes, _ := g.RelationByName("likes")
+	u := g.EntitiesOfType("user")[0]
+
+	inboundID := obs.NewTraceID()
+	inboundSpan := obs.NewSpanID()
+	resp := eng.Do(context.Background(), Request{
+		Kind: KindTopK, Dir: DirTail, Entity: u, Rel: likes, K: 5,
+		TraceID: inboundID, ParentSpan: inboundSpan, TraceForced: true,
+	})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	tr := resp.Trace
+	if tr == nil {
+		t.Fatal("non-zero inbound TraceID did not activate tracing")
+	}
+	if tr.TraceID() != inboundID {
+		t.Fatalf("trace id %s, want adopted inbound id %s", tr.TraceID(), inboundID)
+	}
+	if tr.ParentSpan() != inboundSpan {
+		t.Fatalf("parent span %x, want inbound span %x", tr.ParentSpan(), inboundSpan)
+	}
+	if len(tr.Shards) == 0 {
+		t.Fatal("first query on a fresh engine cracked no shards; no shard spans recorded")
+	}
+	totalSplits := 0
+	for _, sp := range tr.Shards {
+		if sp.Parent != tr.SpanID() {
+			t.Fatalf("shard span parent %x, want query span %x", sp.Parent, tr.SpanID())
+		}
+		if sp.Span.IsZero() || sp.Span == tr.SpanID() {
+			t.Fatalf("shard span id %x must be fresh and non-zero", sp.Span)
+		}
+		if sp.Stage != obs.StageCrack {
+			t.Fatalf("shard span stage %q, want %q", sp.Stage, obs.StageCrack)
+		}
+		if sp.Shard < 0 || sp.Shard >= len(eng.shards) {
+			t.Fatalf("shard span names shard %d of %d", sp.Shard, len(eng.shards))
+		}
+		totalSplits += sp.Splits
+	}
+	if totalSplits == 0 {
+		t.Error("crack spans report zero splits on a fresh engine")
+	}
+	// The forced trace is retained and renders with its shard anatomy.
+	recs := eng.Traces().Find(inboundID)
+	if len(recs) != 1 {
+		t.Fatalf("trace store retained %d records, want 1", len(recs))
+	}
+	var sb strings.Builder
+	obs.RenderTraceText(&sb, inboundID, recs)
+	if out := sb.String(); !strings.Contains(out, "shard") {
+		t.Errorf("rendered trace missing shard spans:\n%s", out)
+	}
+}

@@ -84,7 +84,7 @@ func (e *Engine) topKQuery(dir Dir, ent kg.EntityID, rel kg.RelationID, k int, e
 	res, q, doCrack := e.findTopK(q1, k, eps, skip, tr)
 	e.finishQuery(q, doCrack, tr) // releases the read lock
 	e.met.topkQueries.Inc()
-	e.met.latTopK.Observe(time.Since(start).Seconds())
+	e.met.latTopK.ObserveExemplar(time.Since(start).Seconds(), tr.TraceID())
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,22 +33,43 @@ func publishExpvar(r *Registry) {
 	})
 }
 
+// OpenMetricsContentType is the content type of the OpenMetrics text
+// exposition format; /metrics switches to it when the Accept header asks.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WantsOpenMetrics reports whether the request negotiates the OpenMetrics
+// exposition format (the only format that can carry exemplars).
+func WantsOpenMetrics(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
 // Handler returns the ops endpoint mux:
 //
-//	/metrics      Prometheus text exposition of the registry
+//	/metrics      Prometheus text exposition of the registry; OpenMetrics
+//	              (with trace-id exemplars) when Accept asks for it
 //	/debug/vars   expvar JSON (standard vars plus the registry under "vkg")
 //	/debug/pprof/ the standard pprof handlers
 //	/slowlog      recent slow queries with stage breakdowns, as JSON
+//	/traces       retained traces (JSON list; /traces/<id> renders one)
 //	/             a plain-text index of the above
 //
-// Either reg or slow may be nil; the corresponding endpoint then serves an
-// empty document.
-func Handler(reg *Registry, slow *SlowLog) http.Handler {
+// Any of reg, slow, or traces may be nil; the corresponding endpoint then
+// serves an empty document.
+func Handler(reg *Registry, slow *SlowLog, traces *TraceStore) http.Handler {
 	if reg != nil {
 		publishExpvar(reg)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if WantsOpenMetrics(r) {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			if reg != nil {
+				_ = reg.WriteOpenMetrics(w)
+			} else {
+				_, _ = w.Write([]byte("# EOF\n"))
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if reg != nil {
 			_ = reg.WritePrometheus(w)
@@ -58,8 +80,9 @@ func Handler(reg *Registry, slow *SlowLog) http.Handler {
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/slowlog", SlowLogHandler(slow))
+	mux.Handle("/traces", TraceHandler(traces))
+	mux.Handle("/traces/", TraceHandler(traces))
 	mux.HandleFunc("/", indexPage)
 	return mux
 }
@@ -69,12 +92,21 @@ func Handler(reg *Registry, slow *SlowLog) http.Handler {
 // multi-tenant serving layer mounts one per tenant). A nil slow serves an
 // empty document.
 func SlowLogHandler(slow *SlowLog) http.Handler {
+	return SlowLogHandlerTenant(slow, "")
+}
+
+// SlowLogHandlerTenant is SlowLogHandler with a tenant name stamped into
+// every entry — the serving layer mounts one per tenant.
+func SlowLogHandlerTenant(slow *SlowLog, tenant string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		type entry struct {
 			Time      time.Time `json:"time"`
 			Query     string    `json:"query"`
 			LatencyMS float64   `json:"latency_ms"`
+			TraceID   string    `json:"trace_id,omitempty"`
+			Trace     string    `json:"trace,omitempty"`
+			Tenant    string    `json:"tenant,omitempty"`
 			Stages    []struct {
 				Stage string  `json:"stage"`
 				MS    float64 `json:"ms"`
@@ -88,6 +120,14 @@ func SlowLogHandler(slow *SlowLog) http.Handler {
 			out.ThresholdMS = float64(slow.Threshold()) / float64(time.Millisecond)
 			for _, e := range slow.Entries() {
 				en := entry{Time: e.Time, Query: e.Query, LatencyMS: float64(e.Latency) / float64(time.Millisecond)}
+				en.Tenant = e.Tenant
+				if en.Tenant == "" {
+					en.Tenant = tenant
+				}
+				if !e.TraceID.IsZero() {
+					en.TraceID = e.TraceID.String()
+					en.Trace = "/traces/" + en.TraceID
+				}
 				if e.Trace != nil {
 					for _, s := range e.Trace.Spans {
 						en.Stages = append(en.Stages, struct {
@@ -115,8 +155,9 @@ func indexPage(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte("vkgraph ops endpoints:\n" +
-		"  /metrics      Prometheus text format\n" +
+		"  /metrics      Prometheus text format (OpenMetrics with exemplars via Accept)\n" +
 		"  /debug/vars   expvar JSON\n" +
 		"  /debug/pprof/ pprof profiles\n" +
-		"  /slowlog      recent slow queries (JSON)\n"))
+		"  /slowlog      recent slow queries (JSON)\n" +
+		"  /traces       retained request traces (JSON list; /traces/<id> for one)\n"))
 }

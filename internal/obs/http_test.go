@@ -35,7 +35,11 @@ func TestHandlerEndpoints(t *testing.T) {
 	tr.Finish()
 	slow.Record("topk ent=1 rel=2 k=5", 3*time.Millisecond, tr)
 
-	srv := httptest.NewServer(Handler(r, slow))
+	traces := NewTraceStore(8)
+	traces.Record(TraceRecord{ID: tr.TraceID(), Span: tr.SpanID(), Time: tr.StartTime(),
+		Kind: "topk", Status: TraceError, Detail: "topk ent=1 rel=2 k=5", Latency: tr.Wall, Trace: tr})
+
+	srv := httptest.NewServer(Handler(r, slow, traces))
 	defer srv.Close()
 
 	body, resp := get(t, srv, "/metrics")
@@ -80,8 +84,38 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Errorf("stages = %+v", sl.Entries[0].Stages)
 	}
 
+	body, _ = get(t, srv, "/traces")
+	var tl struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Status  string `json:"status"`
+			Link    string `json:"link"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatalf("/traces is not JSON: %v\n%s", err, body)
+	}
+	if len(tl.Traces) != 1 || tl.Traces[0].TraceID != tr.TraceID().String() || tl.Traces[0].Status != TraceError {
+		t.Fatalf("/traces = %+v", tl.Traces)
+	}
+	body, resp = get(t, srv, tl.Traces[0].Link)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "trace "+tr.TraceID().String()) {
+		t.Errorf("GET %s = %d:\n%s", tl.Traces[0].Link, resp.StatusCode, body)
+	}
+	if !strings.Contains(body, StageSearch) {
+		t.Errorf("trace render missing stage breakdown:\n%s", body)
+	}
+	_, resp = get(t, srv, "/traces/ffffffffffffffffffffffffffffffff")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace id = %d, want 404", resp.StatusCode)
+	}
+	_, resp = get(t, srv, "/traces/not-hex")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed trace id = %d, want 400", resp.StatusCode)
+	}
+
 	body, _ = get(t, srv, "/")
-	if !strings.Contains(body, "/metrics") {
+	if !strings.Contains(body, "/metrics") || !strings.Contains(body, "/traces") {
 		t.Errorf("index page missing endpoint list:\n%s", body)
 	}
 
@@ -97,7 +131,7 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestHandlerNilRegistry(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil))
 	defer srv.Close()
 	body, resp := get(t, srv, "/metrics")
 	if resp.StatusCode != http.StatusOK || body != "" {
@@ -109,5 +143,18 @@ func TestHandlerNilRegistry(t *testing.T) {
 	}
 	if err := json.Unmarshal([]byte(body), &sl); err != nil {
 		t.Fatalf("/slowlog is not JSON: %v", err)
+	}
+	body, resp = get(t, srv, "/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil-store /traces: status %d", resp.StatusCode)
+	}
+	var tl struct {
+		Traces []struct{} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatalf("/traces is not JSON: %v\n%s", err, body)
+	}
+	if len(tl.Traces) != 0 {
+		t.Errorf("nil-store /traces has %d entries", len(tl.Traces))
 	}
 }

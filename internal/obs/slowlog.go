@@ -8,9 +8,17 @@ import (
 
 // SlowEntry is one logged slow query.
 type SlowEntry struct {
+	// Time is when the query started (not when it was logged), so slow-log
+	// entries line up with trace records and access-log lines for the same
+	// request.
 	Time    time.Time     `json:"time"`
 	Query   string        `json:"query"`
 	Latency time.Duration `json:"latency_ns"`
+	// TraceID links the entry to its retained trace at /traces/<id> (zero
+	// when the query ran untraced).
+	TraceID TraceID `json:"-"`
+	// Tenant is the serving-layer tenant, when known.
+	Tenant string `json:"tenant,omitempty"`
 	// Trace carries the stage breakdown when tracing was active for the
 	// query (always the case while the slow log is enabled).
 	Trace *QueryTrace `json:"trace,omitempty"`
@@ -59,10 +67,16 @@ func (l *SlowLog) Slow(lat time.Duration) bool {
 	return t > 0 && int64(lat) >= t
 }
 
-// Record appends an entry. Callers gate on Slow first so the description
-// string is only built for queries that will actually be kept.
+// Record appends an entry stamped with the query's start time and trace id
+// (both taken from tr when non-nil; a nil tr stamps the current time).
+// Callers gate on Slow first so the description string is only built for
+// queries that will actually be kept.
 func (l *SlowLog) Record(query string, lat time.Duration, tr *QueryTrace) {
-	e := SlowEntry{Time: time.Now(), Query: query, Latency: lat, Trace: tr}
+	start := tr.StartTime()
+	if start.IsZero() {
+		start = time.Now()
+	}
+	e := SlowEntry{Time: start, Query: query, Latency: lat, TraceID: tr.TraceID(), Trace: tr}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.buf[l.next] = e

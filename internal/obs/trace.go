@@ -28,17 +28,61 @@ type Span struct {
 	Dur   time.Duration
 }
 
+// ShardSpan is one per-shard child span of a query trace: the crack step's
+// work on a single shard, parented under the query's span. It records the
+// wait for the shard's write lock, the time holding it, and the structural
+// deltas (splits performed, nodes created) attributable to this query on
+// this shard.
+type ShardSpan struct {
+	// Span identifies this child span; Parent is the owning query's span.
+	Span   SpanID
+	Parent SpanID
+	// Stage is the stage this child ran under (currently always "crack").
+	Stage string
+	// Shard is the spatial shard index.
+	Shard int
+	// Start is the offset from the beginning of the query.
+	Start time.Duration
+	// LockWait is the wait to acquire the shard's write lock; Dur the time
+	// holding it to crack.
+	LockWait time.Duration
+	Dur      time.Duration
+	// Splits and Nodes are the binary splits performed and index nodes
+	// created on this shard by this query.
+	Splits int
+	Nodes  int
+}
+
 // QueryTrace is an opt-in per-query breakdown: where the time went, stage
 // by stage, plus the cost counters the paper's analysis is stated in (node
 // accesses under Lemma 3 terms, candidates examined, bound-pruned
 // refinements). A nil *QueryTrace is valid and every method is a no-op on
 // it, so instrumented code calls unconditionally.
+//
+// A trace is one node of a request tree: it carries a 128-bit trace id
+// shared by every span of the request (minted fresh, or adopted from an
+// inbound traceparent header), its own span id, and the parent span it hangs
+// under (the HTTP request span, or a batch request's span). Per-shard crack
+// work appears as ShardSpan children; a coalesced follower links the leader
+// trace that actually executed the descent via LeaderTrace.
 type QueryTrace struct {
 	start time.Time
 	mark  time.Time
 
+	id     TraceID
+	span   SpanID
+	parent SpanID
+	forced bool
+
 	// Spans are the timed stages in execution order.
 	Spans []Span
+	// Shards are the per-shard crack child spans, in shard order (only the
+	// shards this query actually write-locked).
+	Shards []ShardSpan
+	// LeaderTrace links a coalesced follower to the trace of the in-flight
+	// execution it shared; zero otherwise. The leader may belong to a
+	// different request entirely — that cross-request edge is the point.
+	LeaderTrace TraceID
 	// Wall is the total traced duration (set by Finish).
 	Wall time.Duration
 
@@ -62,10 +106,93 @@ type QueryTrace struct {
 	Accessed, BallSize int
 }
 
-// StartTrace begins a trace at the current time.
+// StartTrace begins a trace at the current time with a freshly minted trace
+// id and span id.
 func StartTrace() *QueryTrace {
+	return StartTraceLinked(TraceID{}, SpanID{}, false)
+}
+
+// StartTraceLinked begins a trace that joins an existing request tree: id is
+// adopted as the trace id (a zero id mints a fresh one), parent becomes the
+// new span's parent, and forced marks the trace for guaranteed retention in
+// a TraceStore (set for explicitly requested traces and sampled inbound
+// traceparents). The span id is always minted fresh.
+func StartTraceLinked(id TraceID, parent SpanID, forced bool) *QueryTrace {
 	now := time.Now()
-	return &QueryTrace{start: now, mark: now}
+	if id.IsZero() {
+		id = NewTraceID()
+	}
+	return &QueryTrace{start: now, mark: now, id: id, span: NewSpanID(), parent: parent, forced: forced}
+}
+
+// TraceID returns the trace's 128-bit id (zero on a nil trace).
+func (t *QueryTrace) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// SpanID returns the trace's own span id (zero on a nil trace).
+func (t *QueryTrace) SpanID() SpanID {
+	if t == nil {
+		return SpanID{}
+	}
+	return t.span
+}
+
+// ParentSpan returns the parent span id (zero for a root or nil trace).
+func (t *QueryTrace) ParentSpan() SpanID {
+	if t == nil {
+		return SpanID{}
+	}
+	return t.parent
+}
+
+// Forced reports whether the trace was marked for guaranteed retention.
+func (t *QueryTrace) Forced() bool {
+	if t == nil {
+		return false
+	}
+	return t.forced
+}
+
+// StartTime returns when the trace began (zero on a nil trace) — the query
+// start time the slow log stamps entries with.
+func (t *QueryTrace) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// AddShardSpan appends a per-shard crack child span: the crack step's work
+// on shard i, started at the given wall-clock time, with its lock wait,
+// write-lock hold, and structural deltas. No-op on a nil trace.
+func (t *QueryTrace) AddShardSpan(shard int, start time.Time, lockWait, held time.Duration, splits, nodes int) {
+	if t == nil {
+		return
+	}
+	t.Shards = append(t.Shards, ShardSpan{
+		Span:     NewSpanID(),
+		Parent:   t.span,
+		Stage:    StageCrack,
+		Shard:    shard,
+		Start:    start.Sub(t.start),
+		LockWait: lockWait,
+		Dur:      held,
+		Splits:   splits,
+		Nodes:    nodes,
+	})
+}
+
+// LinkLeader records the trace id of the in-flight execution a coalesced
+// follower shared. No-op on a nil trace or a zero leader.
+func (t *QueryTrace) LinkLeader(leader TraceID) {
+	if t == nil || leader.IsZero() {
+		return
+	}
+	t.LeaderTrace = leader
 }
 
 // Step closes the current segment under the given stage name and starts the
@@ -97,5 +224,9 @@ func (t *QueryTrace) String() string {
 	for _, s := range t.Spans {
 		parts = append(parts, fmt.Sprintf("%s %v", s.Stage, s.Dur.Round(time.Microsecond)))
 	}
-	return fmt.Sprintf("%v (%s)", t.Wall.Round(time.Microsecond), strings.Join(parts, ", "))
+	suffix := ""
+	if len(t.Shards) > 0 {
+		suffix = fmt.Sprintf(" [%d shard cracks]", len(t.Shards))
+	}
+	return fmt.Sprintf("%v (%s)%s", t.Wall.Round(time.Microsecond), strings.Join(parts, ", "), suffix)
 }

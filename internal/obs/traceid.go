@@ -1,0 +1,173 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace identity: every query (and every HTTP request in front of one) is
+// stamped with a 128-bit TraceID shared across the whole request tree and a
+// 64-bit SpanID per node of it, carried on the wire in the W3C Trace Context
+// `traceparent` header:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             │  │                                │                │
+//	             │  trace-id (16 bytes, hex)         parent span      flags
+//	             version 00                                           01 = sampled
+//
+// ID generation is dependency-free and cheap: one crypto/rand read seeds a
+// process-wide base at first use, after which each id is a splitmix64 mix of
+// the base and an atomic counter — no locks, no syscalls, and no math/rand
+// state on the query path.
+
+// TraceID is a 128-bit trace identifier. The zero value means "untraced".
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identifier. The zero value means "no span".
+type SpanID [8]byte
+
+var (
+	idOnce sync.Once
+	idBase uint64
+	idCtr  atomic.Uint64
+)
+
+// randUint64 returns a unique, well-mixed 64-bit value. The base is drawn
+// from crypto/rand once per process; subsequent ids pay two multiplies and
+// an atomic add.
+func randUint64() uint64 {
+	idOnce.Do(func() {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			idBase = binary.LittleEndian.Uint64(b[:])
+		} else {
+			idBase = uint64(time.Now().UnixNano())
+		}
+	})
+	// splitmix64: a full-period mix of the counter sequence, so consecutive
+	// ids share no visible structure and the head-sampling bits (the low
+	// half of the trace id) are uniform.
+	x := idBase + idCtr.Add(1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID mints a fresh non-zero trace id.
+func NewTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], randUint64())
+	binary.BigEndian.PutUint64(id[8:], randUint64())
+	if id.IsZero() { // astronomically unlikely, but zero means "untraced"
+		id[15] = 1
+	}
+	return id
+}
+
+// NewSpanID mints a fresh non-zero span id.
+func NewSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], randUint64())
+	if id.IsZero() {
+		id[7] = 1
+	}
+	return id
+}
+
+// IsZero reports whether the id is the zero ("untraced") value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the id is the zero ("no span") value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// sampleWord returns the low 64 bits of the trace id as a uniform integer —
+// the deterministic coin the head sampler flips, so every component of a
+// distributed trace makes the same keep/drop decision without coordination.
+func (id TraceID) sampleWord() uint64 { return binary.BigEndian.Uint64(id[8:]) }
+
+// ParseTraceID parses 32 hex digits into a TraceID. ok is false for
+// malformed or all-zero input.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return id, !id.IsZero()
+}
+
+// Traceparent renders a W3C traceparent header value (version 00) for the
+// given trace and span, with the sampled flag set when sampled is true.
+func Traceparent(id TraceID, span SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + id.String() + "-" + span.String() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Malformed headers
+// — wrong field lengths, non-hex digits, all-zero trace or span ids, the
+// invalid version ff — return ok == false; per the spec the receiver then
+// simply starts a fresh trace. Future versions (> 00) are accepted as long
+// as the four version-00 fields parse, which the spec requires.
+func ParseTraceparent(h string) (id TraceID, span SpanID, sampled bool, ok bool) {
+	if len(h) < 55 {
+		return id, span, false, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return id, span, false, false
+	}
+	if !isLowerHex(h[0:2]) || !isLowerHex(h[3:35]) || !isLowerHex(h[36:52]) || !isLowerHex(h[53:55]) {
+		// The spec mandates lowercase hex; uppercase is malformed.
+		return id, span, false, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		// Extra data after the flags must be a new dash-separated field
+		// (future versions); version 00 must be exactly 55 chars.
+		return id, span, false, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(h[0:2])); err != nil || ver[0] == 0xff {
+		return id, span, false, false
+	}
+	if ver[0] == 0 && len(h) != 55 {
+		return id, span, false, false
+	}
+	if _, err := hex.Decode(id[:], []byte(h[3:35])); err != nil || id.IsZero() {
+		return TraceID{}, span, false, false
+	}
+	if _, err := hex.Decode(span[:], []byte(h[36:52])); err != nil || span.IsZero() {
+		return TraceID{}, SpanID{}, false, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return TraceID{}, SpanID{}, false, false
+	}
+	return id, span, flags[0]&0x01 != 0, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

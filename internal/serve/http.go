@@ -24,10 +24,17 @@ const StatusClientClosedRequest = 499
 //	POST /v1/batch   a batch sharing one admission slot and deadline
 //	GET  /healthz    liveness: 200 while the process runs, drain included
 //	GET  /readyz     readiness: 200 until drain starts, then 503
-//	GET  /metrics    serving counters + every tenant registry (tenant label)
+//	GET  /metrics    serving counters + every tenant registry (tenant label);
+//	                 OpenMetrics with trace-id exemplars when Accept asks
 //	GET  /slowlog    a tenant's slow-query log (?tenant=, optional if single)
+//	GET  /traces     retained traces across tenants (/traces/<id> for one)
 //	GET  /tenants    tenant names, JSON
 //	GET  /debug/pprof/ the standard pprof handlers
+//
+// Both query endpoints speak W3C Trace Context: a well-formed inbound
+// `traceparent` header is adopted (its sampled flag forces trace
+// retention), and every response — success, 429, 504, 499 alike — echoes a
+// `Traceparent` header naming the request's trace.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
@@ -47,6 +54,8 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/traces/", s.handleTraces)
 	mux.HandleFunc("/tenants", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(s.Tenants())
@@ -96,12 +105,19 @@ func classify(err error) (int, string) {
 // writeError answers with a JSON error document. 429s and 503s carry a
 // Retry-After hint: shed clients should back off, not hammer.
 func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
+	s.writeErrorTrace(w, status, code, err, "")
+}
+
+// writeErrorTrace is writeError with the request's trace id in the body —
+// shed (429) and timed-out (504) answers carry the handle into /traces, so
+// the client can report exactly which request was refused.
+func (s *Server) writeErrorTrace(w http.ResponseWriter, status int, code string, err error, traceID string) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(wireResult{Error: err.Error(), Code: code})
+	_ = json.NewEncoder(w).Encode(wireResult{Error: err.Error(), Code: code, TraceID: traceID})
 	switch status {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
 		StatusClientClosedRequest, http.StatusGatewayTimeout:
@@ -114,16 +130,16 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code string, err 
 
 // decodeBody decodes a bounded JSON body, distinguishing oversized bodies
 // (413) from malformed ones (400).
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+func (s *Server) decodeBody(rc *reqCtx, dst interface{}) bool {
+	rc.r.Body = http.MaxBytesReader(rc.w, rc.r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(rc.r.Body).Decode(dst); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			rc.fail(http.StatusRequestEntityTooLarge, "body_too_large",
 				fmt.Errorf("serve: request body exceeds %d bytes", tooBig.Limit))
 			return false
 		}
-		s.writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("serve: decoding request: %w", err))
+		rc.fail(http.StatusBadRequest, "bad_request", fmt.Errorf("serve: decoding request: %w", err))
 		return false
 	}
 	return true
@@ -133,18 +149,21 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst interfac
 // check happened already; this checks drain state and admission control.
 // On success the caller owns one slot (released by the execution
 // goroutine, not the handler).
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) admit(rc *reqCtx) bool {
 	if s.Draining() {
 		s.met.shedDrain.Inc()
-		s.writeError(w, http.StatusServiceUnavailable, "draining",
+		rc.admission = "shed"
+		rc.fail(http.StatusServiceUnavailable, "draining",
 			fmt.Errorf("serve: draining: %w", vkg.ErrOverloaded))
 		return false
 	}
-	if err := s.adm.acquire(r.Context()); err != nil {
+	if err := s.adm.acquire(rc.r.Context()); err != nil {
+		rc.admission = "shed"
 		status, code := classify(err)
-		s.writeError(w, status, code, err)
+		rc.fail(status, code, err)
 		return false
 	}
+	rc.admission = "admitted"
 	return true
 }
 
@@ -175,38 +194,47 @@ func run[T any](s *Server, ctx context.Context, fn func(context.Context) T) (T, 
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rc := s.begin(w, r, "query")
+	defer rc.finish()
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		rc.fail(http.StatusMethodNotAllowed, "method_not_allowed",
 			fmt.Errorf("serve: %s %s: POST only", r.Method, r.URL.Path))
 		return
 	}
-	start := time.Now()
-	defer func() { s.met.latency.Observe(time.Since(start).Seconds()) }()
 
 	var req wireRequest
-	if !s.decodeBody(w, r, &req) {
+	if !s.decodeBody(rc, &req) {
 		return
 	}
-	t, _, err := s.tenant(tenantName(r, req.Tenant))
+	t, name, err := s.tenant(tenantName(r, req.Tenant))
 	if err != nil {
-		s.writeError(w, http.StatusNotFound, "unknown_tenant", err)
+		rc.fail(http.StatusNotFound, "unknown_tenant", err)
 		return
 	}
+	rc.t, rc.tenant = t, name
 	s.countRequest(tenantName(r, req.Tenant))
+	if req.Trace {
+		// A client that asked for trace output wants to find the trace
+		// retained afterwards.
+		rc.force()
+	}
 	q, err := toQuery(req.wireQuery, t.Resolver)
 	if err != nil {
 		status, code := http.StatusBadRequest, "bad_request"
 		if st, c := classify(err); st == http.StatusNotFound {
 			status, code = st, c
 		}
-		s.writeError(w, status, code, err)
+		rc.fail(status, code, err)
 		return
 	}
+	// Propagate the request's trace context into the engine: the query's
+	// span hangs under the request span, sharing the trace id.
+	q.TraceParent = rc.traceparentValue()
 
 	d := s.timeout(req.TimeoutMS)
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	if !s.admit(w, r) {
+	if !s.admit(rc) {
 		return
 	}
 
@@ -219,7 +247,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return answer{res, err}
 	})
 	if !ok {
-		s.answerDetached(w, ctx, d)
+		s.answerDetached(rc, ctx, d)
 		return
 	}
 	if a.err != nil {
@@ -231,47 +259,63 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.met.deadline.Inc()
 			a.err = fmt.Errorf("serve: %v deadline: %w", d, vkg.ErrDeadlineExceeded)
 		}
-		s.writeError(w, status, code, a.err)
+		rc.fail(status, code, a.err)
 		return
 	}
+	wr := fromResult(a.res)
+	if !req.Trace {
+		// The engine traced the query for the store; the client only gets
+		// the span breakdown it asked for.
+		wr.Trace = nil
+	}
+	wr.TraceID = rc.id.String()
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(fromResult(a.res))
+	_ = json.NewEncoder(w).Encode(wr)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rc := s.begin(w, r, "batch")
+	defer rc.finish()
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		rc.fail(http.StatusMethodNotAllowed, "method_not_allowed",
 			fmt.Errorf("serve: %s %s: POST only", r.Method, r.URL.Path))
 		return
 	}
-	start := time.Now()
-	defer func() { s.met.latency.Observe(time.Since(start).Seconds()) }()
 
 	var req wireBatchRequest
-	if !s.decodeBody(w, r, &req) {
+	if !s.decodeBody(rc, &req) {
 		return
 	}
 	if len(req.Queries) == 0 {
-		s.writeError(w, http.StatusBadRequest, "bad_request", errors.New("serve: empty batch"))
+		rc.fail(http.StatusBadRequest, "bad_request", errors.New("serve: empty batch"))
 		return
 	}
 	if len(req.Queries) > s.cfg.MaxBatch {
-		s.writeError(w, http.StatusBadRequest, "batch_too_large",
+		rc.fail(http.StatusBadRequest, "batch_too_large",
 			fmt.Errorf("serve: batch of %d exceeds the %d-query limit", len(req.Queries), s.cfg.MaxBatch))
 		return
 	}
-	t, _, err := s.tenant(tenantName(r, req.Tenant))
+	t, name, err := s.tenant(tenantName(r, req.Tenant))
 	if err != nil {
-		s.writeError(w, http.StatusNotFound, "unknown_tenant", err)
+		rc.fail(http.StatusNotFound, "unknown_tenant", err)
 		return
 	}
+	rc.t, rc.tenant = t, name
 	s.countRequest(tenantName(r, req.Tenant))
 
 	// Lower every wire query first; per-query failures land in place and
 	// only the valid remainder reaches the engine (mirrors vkg.DoBatch).
+	// Every lowered query carries the batch's trace context: the batch
+	// request is one parent span, each query a child span under it.
 	results := make([]wireResult, len(req.Queries))
 	idxs := make([]int, 0, len(req.Queries))
 	qs := make([]vkg.Query, 0, len(req.Queries))
+	for _, wq := range req.Queries {
+		if wq.Trace {
+			rc.force()
+			break
+		}
+	}
 	for i, wq := range req.Queries {
 		q, err := toQuery(wq, t.Resolver)
 		if err != nil {
@@ -279,9 +323,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if _, c := classify(err); c != "internal" {
 				code = c
 			}
-			results[i] = wireResult{Error: err.Error(), Code: code}
+			results[i] = wireResult{Error: err.Error(), Code: code, TraceID: rc.id.String()}
 			continue
 		}
+		q.TraceParent = rc.traceparentValue()
 		idxs = append(idxs, i)
 		qs = append(qs, q)
 	}
@@ -290,14 +335,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	if len(qs) > 0 {
-		if !s.admit(w, r) {
+		if !s.admit(rc) {
 			return
 		}
 		batch, ok := run(s, ctx, func(ctx context.Context) []vkg.Result {
 			return t.Backend.DoBatchWorkers(ctx, qs, s.cfg.BatchWorkers)
 		})
 		if !ok {
-			s.answerDetached(w, ctx, d)
+			s.answerDetached(rc, ctx, d)
 			return
 		}
 		for j, res := range batch {
@@ -309,11 +354,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if code == "deadline_exceeded" {
 					s.met.deadline.Inc()
 				}
-				results[idxs[j]] = wireResult{Error: res.Err.Error(), Code: code}
+				results[idxs[j]] = wireResult{Error: res.Err.Error(), Code: code, TraceID: rc.id.String()}
 				continue
 			}
 			r := res
-			results[idxs[j]] = fromResult(&r)
+			wr := fromResult(&r)
+			if !req.Queries[idxs[j]].Trace {
+				wr.Trace = nil
+			}
+			results[idxs[j]] = wr
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -323,14 +372,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // answerDetached reports a run whose deadline or client fired before the
 // engine call returned: 504 wrapping vkg.ErrDeadlineExceeded, or 499 when
 // the client cancelled first.
-func (s *Server) answerDetached(w http.ResponseWriter, ctx context.Context, d time.Duration) {
+func (s *Server) answerDetached(rc *reqCtx, ctx context.Context, d time.Duration) {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 		s.met.deadline.Inc()
-		s.writeError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+		rc.fail(http.StatusGatewayTimeout, "deadline_exceeded",
 			fmt.Errorf("serve: query exceeded its %v deadline: %w", d, vkg.ErrDeadlineExceeded))
 		return
 	}
-	s.writeError(w, StatusClientClosedRequest, "canceled",
+	rc.fail(StatusClientClosedRequest, "canceled",
 		fmt.Errorf("serve: client closed request: %w", ctx.Err()))
 }
 
@@ -359,11 +408,25 @@ func (s *Server) countRequest(name string) {
 
 // handleMetrics renders one Prometheus page: the serving registry first,
 // then every tenant's engine registry stamped tenant="name", HELP/TYPE
-// headers deduplicated across registries.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+// headers deduplicated across registries. An Accept header asking for
+// application/openmetrics-text switches to the OpenMetrics exposition,
+// whose histogram buckets carry trace-id exemplars.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	om := obs.WantsOpenMetrics(r)
+	if om {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
 	seen := make(map[string]bool)
-	_ = s.met.reg.WritePrometheusLabeled(w, seen)
+	write := func(reg *obs.Registry, extra ...obs.Label) {
+		if om {
+			_ = reg.WriteOpenMetricsLabeled(w, seen, extra...)
+		} else {
+			_ = reg.WritePrometheusLabeled(w, seen, extra...)
+		}
+	}
+	write(s.met.reg)
 	s.mu.Lock()
 	tenants := make(map[string]*Tenant, len(s.tenants))
 	for n, t := range s.tenants {
@@ -375,15 +438,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		if t.Registry == nil {
 			continue
 		}
-		_ = t.Registry.WritePrometheusLabeled(w, seen, obs.Label{Key: "tenant", Value: name})
+		write(t.Registry, obs.Label{Key: "tenant", Value: name})
+	}
+	if om {
+		_ = obs.WriteOpenMetricsEOF(w)
 	}
 }
 
 func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
-	t, _, err := s.tenant(r.URL.Query().Get("tenant"))
+	t, name, err := s.tenant(r.URL.Query().Get("tenant"))
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, "unknown_tenant", err)
 		return
 	}
-	obs.SlowLogHandler(t.SlowLog).ServeHTTP(w, r)
+	obs.SlowLogHandlerTenant(t.SlowLog, name).ServeHTTP(w, r)
 }

@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -79,6 +80,10 @@ type Tenant struct {
 	Registry *obs.Registry
 	// SlowLog, when set, is served on /slowlog?tenant=<name>.
 	SlowLog *obs.SlowLog
+	// Traces, when set, receives the request-envelope trace records and is
+	// merged into the /traces endpoints. AddTenant arms its head sampling
+	// and slow-retention thresholds from the server Config.
+	Traces *obs.TraceStore
 }
 
 // NewTenant wires a Tenant from a built VKG: the VKG is the backend and
@@ -91,6 +96,7 @@ func NewTenant(v *vkg.VKG, snapshotPath string) *Tenant {
 		SnapshotPath: snapshotPath,
 		Registry:     v.Engine().Registry(),
 		SlowLog:      v.Engine().SlowLog(),
+		Traces:       v.Engine().Traces(),
 	}
 }
 
@@ -127,6 +133,18 @@ type Config struct {
 	BatchWorkers int
 	// RetryAfter is the Retry-After hint on shed responses (default 1s).
 	RetryAfter time.Duration
+	// TraceHeadRate is the head-sampling fraction of fast, successful
+	// traces retained for /traces (default 1/64; negative disables head
+	// sampling entirely). Errored, shed, timed-out, and slow requests are
+	// always retained regardless — that tail is why the store exists.
+	TraceHeadRate float64
+	// TraceSlow is the latency above which a trace is always retained
+	// (default obs.DefaultTraceSlow, 100ms).
+	TraceSlow time.Duration
+	// AccessLog, when set, receives one structured JSON line per request
+	// (trace id, tenant, status, admission outcome, latency). Writes are
+	// serialized by the server; os.Stderr and files are fine as-is.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +177,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.TraceHeadRate == 0 {
+		c.TraceHeadRate = 1.0 / 64
+	}
+	if c.TraceHeadRate < 0 {
+		c.TraceHeadRate = 0
+	}
+	if c.TraceSlow <= 0 {
+		c.TraceSlow = obs.DefaultTraceSlow
 	}
 	return c
 }
@@ -215,6 +242,10 @@ type Server struct {
 	draining  chan struct{} // closed when drain starts
 	drainOnce sync.Once
 
+	// accessMu serializes writes to Config.AccessLog so concurrent handlers
+	// emit whole lines.
+	accessMu sync.Mutex
+
 	// busy counts engine calls still running (admitted requests whose
 	// backend call has not returned), including ones whose handler already
 	// detached at its deadline. Drain waits on this count, not on handler
@@ -259,6 +290,10 @@ func (s *Server) AddTenant(name string, t *Tenant) error {
 	s.tenants[name] = t
 	s.requests[name] = s.met.reg.Counter("vkg_serve_requests_total",
 		"Requests received, by tenant.", obs.Label{Key: "tenant", Value: name})
+	// Arm the tenant's trace retention from the server config: engines
+	// default to head rate 0 (embedded use pays nothing), servers sample.
+	t.Traces.SetHeadRate(s.cfg.TraceHeadRate)
+	t.Traces.SetSlowThreshold(s.cfg.TraceSlow)
 	return nil
 }
 

@@ -1,0 +1,459 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vkgraph/internal/obs"
+)
+
+// readAll drains and closes a response body.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// syncBuffer is a mutex-guarded buffer: the access log is written from the
+// handler goroutine after the response is flushed, so the test must both
+// lock and poll.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitLine polls until the buffer holds at least one full line.
+func (b *syncBuffer) waitLine(t *testing.T) string {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for {
+		if s := b.String(); strings.Contains(s, "\n") {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no access-log line within 1s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+const knownTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+// postTraced posts a query body with an optional inbound traceparent and
+// returns the response, its parsed body, and the echoed traceparent fields.
+func postTraced(t *testing.T, url, inbound string, body interface{}) (*http.Response, wireResult, obs.TraceID, bool) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if inbound != "" {
+		req.Header.Set("traceparent", inbound)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res wireResult
+	_ = json.NewDecoder(resp.Body).Decode(&res)
+
+	echo := resp.Header.Get("Traceparent")
+	if echo == "" {
+		t.Fatalf("response (status %d) missing Traceparent header", resp.StatusCode)
+	}
+	id, _, sampled, ok := obs.ParseTraceparent(echo)
+	if !ok {
+		t.Fatalf("echoed traceparent %q is malformed", echo)
+	}
+	return resp, res, id, sampled
+}
+
+// TestTraceparentEchoSuccess pins W3C propagation on the happy path: a
+// known inbound traceparent is adopted (same trace id, sampled flag
+// honored, fresh span), and the response body carries the same trace id.
+func TestTraceparentEchoSuccess(t *testing.T) {
+	v, _ := testVKG(t)
+	s := NewServer(Config{})
+	if err := s.AddTenant("main", NewTenant(v, "")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, res, id, sampled := postTraced(t, ts.URL+"/v1/query", knownTraceparent, idQuery(3))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	const wantID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	if id.String() != wantID {
+		t.Fatalf("echoed trace id %s, want adopted inbound %s", id, wantID)
+	}
+	if !sampled {
+		t.Error("sampled inbound flag not echoed")
+	}
+	if res.TraceID != wantID {
+		t.Errorf("body trace_id %q, want %q", res.TraceID, wantID)
+	}
+	// The sampled flag forces retention: the trace must be on /traces/<id>,
+	// reassembled from the request envelope and the engine's query record.
+	tr, err := http.Get(ts.URL + "/traces/" + wantID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := readAll(t, tr)
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("/traces/%s answered %d: %s", wantID, tr.StatusCode, out)
+	}
+	for _, want := range []string{"trace " + wantID, "[query]", "[topk]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/traces/%s missing %q:\n%s", wantID, want, out)
+		}
+	}
+	// The client did not set trace:true, so no span breakdown leaks into
+	// the response body.
+	if res.Trace != nil {
+		t.Errorf("span breakdown leaked to a client that did not ask: %v", res.Trace)
+	}
+}
+
+// TestTraceparentMalformedIgnored: a garbage inbound header is silently
+// dropped and a fresh, valid trace is minted and echoed.
+func TestTraceparentMalformedIgnored(t *testing.T) {
+	v, _ := testVKG(t)
+	s := NewServer(Config{})
+	if err := s.AddTenant("main", NewTenant(v, "")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, bad := range []string{
+		"not-a-traceparent",
+		"00-ZZZZ2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+	} {
+		resp, res, id, sampled := postTraced(t, ts.URL+"/v1/query", bad, idQuery(3))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+		if id.IsZero() {
+			t.Fatal("fresh trace id is zero")
+		}
+		if strings.Contains(bad, id.String()) || sampled {
+			t.Errorf("malformed inbound %q leaked into echo (id %s sampled %v)", bad, id, sampled)
+		}
+		if res.TraceID != id.String() {
+			t.Errorf("body trace_id %q disagrees with header %s", res.TraceID, id)
+		}
+	}
+}
+
+// TestTraceparentOnShed pins the refusal paths: 429 and 504 responses echo
+// the traceparent, carry trace_id in the JSON error body, and the shed /
+// deadline envelopes are tail-retained in the trace store.
+func TestTraceparentOnShed(t *testing.T) {
+	b := newBlockingBackend()
+	s := NewServer(Config{
+		MaxInFlight: 1, QueueDepth: 0, QueueWait: time.Millisecond,
+		DefaultTimeout: 50 * time.Millisecond, MaxTimeout: 60 * time.Millisecond,
+		TraceHeadRate: -1, // head sampling off: retention below is pure tail policy
+	})
+	store := obs.NewTraceStore(32)
+	if err := s.AddTenant("t", &Tenant{Backend: b, Traces: store}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Park one request in the only slot; it will 504 at DefaultTimeout.
+	type slow struct {
+		res wireResult
+		id  obs.TraceID
+	}
+	first := make(chan slow, 1)
+	go func() {
+		_, res, id, _ := postTraced(t, ts.URL+"/v1/query", "", idQuery(3))
+		first <- slow{res, id}
+	}()
+
+	// Wait for it to occupy the slot, then overflow.
+	deadline := time.Now().Add(time.Second)
+	for s.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, res, shedID, _ := postTraced(t, ts.URL+"/v1/query", "", idQuery(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if res.Code != "overloaded" {
+		t.Errorf("code %q, want overloaded", res.Code)
+	}
+	if res.TraceID != shedID.String() {
+		t.Fatalf("429 body trace_id %q, want header id %s", res.TraceID, shedID)
+	}
+
+	sl := <-first
+	if sl.res.Code != "deadline_exceeded" {
+		t.Fatalf("parked request code %q, want deadline_exceeded", sl.res.Code)
+	}
+	if sl.res.TraceID != sl.id.String() {
+		t.Fatalf("504 body trace_id %q, want header id %s", sl.res.TraceID, sl.id)
+	}
+
+	// Both refusals are latency outliers by definition; the tail policy
+	// keeps them even with head sampling disabled.
+	if recs := store.Find(shedID); len(recs) != 1 || recs[0].Status != obs.TraceShed {
+		t.Errorf("shed envelope not tail-retained: %+v", recs)
+	}
+	if recs := store.Find(sl.id); len(recs) == 0 || recs[0].Status != obs.TraceDeadline {
+		t.Errorf("deadline envelope not tail-retained: %+v", recs)
+	}
+	st := store.Stats()
+	if st.KeptTail < 2 {
+		t.Errorf("KeptTail = %d, want >= 2", st.KeptTail)
+	}
+
+	close(b.release)
+}
+
+// TestAccessLog pins the structured access-log line: one JSON object per
+// request with the trace id, tenant, outcome, and latency.
+func TestAccessLog(t *testing.T) {
+	v, _ := testVKG(t)
+	var buf syncBuffer
+	s := NewServer(Config{AccessLog: &buf})
+	if err := s.AddTenant("main", NewTenant(v, "")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, _, id, _ := postTraced(t, ts.URL+"/v1/query", knownTraceparent, idQuery(3))
+
+	// One line, valid JSON, with the fields an operator greps for.
+	lines := strings.Split(strings.TrimSpace(buf.waitLine(t)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("access log has %d lines, want 1: %q", len(lines), buf.String())
+	}
+	var line struct {
+		Time      string  `json:"time"`
+		TraceID   string  `json:"trace_id"`
+		Tenant    string  `json:"tenant"`
+		Method    string  `json:"method"`
+		Path      string  `json:"path"`
+		Status    int     `json:"status"`
+		Code      string  `json:"code"`
+		Admission string  `json:"admission"`
+		LatencyMS float64 `json:"latency_ms"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &line); err != nil {
+		t.Fatalf("access log line is not JSON: %v\n%s", err, lines[0])
+	}
+	if line.TraceID != id.String() {
+		t.Errorf("trace_id %q, want %s", line.TraceID, id)
+	}
+	if line.Tenant != "main" || line.Method != "POST" || line.Path != "/v1/query" {
+		t.Errorf("line routing fields = %+v", line)
+	}
+	if line.Status != 200 || line.Code != "ok" || line.Admission != "admitted" {
+		t.Errorf("line outcome fields = %+v", line)
+	}
+	if line.LatencyMS <= 0 {
+		t.Errorf("latency_ms = %v, want > 0", line.LatencyMS)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, line.Time); err != nil {
+		t.Errorf("time %q is not RFC3339Nano: %v", line.Time, err)
+	}
+}
+
+// TestMetricsOpenMetrics pins content negotiation on the serving /metrics
+// page: the OpenMetrics variant ends in # EOF and carries a trace-id
+// exemplar on the request-latency histogram; the default variant is
+// classic 0.0.4 with neither.
+func TestMetricsOpenMetrics(t *testing.T) {
+	v, _ := testVKG(t)
+	s := NewServer(Config{})
+	if err := s.AddTenant("main", NewTenant(v, "")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, _, id, _ := postTraced(t, ts.URL+"/v1/query", knownTraceparent, idQuery(3))
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("Content-Type %q, want openmetrics-text", ct)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics page does not end in # EOF")
+	}
+	if !strings.Contains(body, `trace_id="`+id.String()+`"`) {
+		t.Errorf("latency exemplar for trace %s missing from OpenMetrics page", id)
+	}
+
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body2 := readAll(t, resp2); strings.Contains(body2, "# EOF") || strings.Contains(body2, " # {") {
+		t.Error("default /metrics leaked OpenMetrics syntax")
+	}
+}
+
+// TestServeTracesEndpoint pins the merged /traces view across tenants.
+func TestServeTracesEndpoint(t *testing.T) {
+	v, _ := testVKG(t)
+	s := NewServer(Config{})
+	if err := s.AddTenant("main", NewTenant(v, "")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := idQuery(3)
+	body["trace"] = true // explicit trace request forces retention
+	resp, res, id, sampled := postTraced(t, ts.URL+"/v1/query", "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !sampled {
+		t.Error("trace:true did not set the sampled flag on the echoed header")
+	}
+	if res.Trace == nil {
+		t.Error("trace:true returned no span breakdown")
+	}
+
+	lresp, err := http.Get(ts.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := readAll(t, lresp)
+	if !strings.Contains(list, id.String()) {
+		t.Fatalf("/traces list missing %s:\n%s", id, list)
+	}
+	var parsed struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Tenant  string `json:"tenant"`
+			Link    string `json:"link"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(list), &parsed); err != nil {
+		t.Fatalf("/traces is not JSON: %v", err)
+	}
+	found := false
+	for _, e := range parsed.Traces {
+		if e.TraceID == id.String() {
+			found = true
+			if e.Tenant != "main" {
+				t.Errorf("list entry tenant %q, want main", e.Tenant)
+			}
+			if e.Link != "/traces/"+id.String() {
+				t.Errorf("list entry link %q", e.Link)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("trace id absent from parsed list")
+	}
+
+	if r404, err := http.Get(ts.URL + "/traces/" + strings.Repeat("ab", 16)); err != nil {
+		t.Fatal(err)
+	} else if readAll(t, r404); r404.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id answered %d, want 404", r404.StatusCode)
+	}
+	if r400, err := http.Get(ts.URL + "/traces/zzz"); err != nil {
+		t.Fatal(err)
+	} else if readAll(t, r400); r400.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed id answered %d, want 400", r400.StatusCode)
+	}
+}
+
+// TestBatchTraceparent: the batch envelope is one trace; every per-query
+// result carries its id, and any trace:true member forces retention.
+func TestBatchTraceparent(t *testing.T) {
+	v, _ := testVKG(t)
+	s := NewServer(Config{})
+	if err := s.AddTenant("main", NewTenant(v, "")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	buf, _ := json.Marshal(map[string]interface{}{
+		"queries": []map[string]interface{}{
+			{"entity_id": 0, "relation_id": 0, "k": 3, "trace": true},
+			{"entity_id": 1, "relation_id": 0, "k": 3},
+			{"entity_id": 0, "relation_id": 99, "k": 3}, // fails: unknown relation id is fine, engine errors in place
+		},
+	})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", bytes.NewReader(buf))
+	req.Header.Set("traceparent", knownTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	echo := resp.Header.Get("Traceparent")
+	id, _, _, ok := obs.ParseTraceparent(echo)
+	if !ok || id.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("batch echo %q, want adopted inbound id", echo)
+	}
+	var br wireBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(br.Results))
+	}
+	for i, r := range br.Results {
+		if r.TraceID != id.String() {
+			t.Errorf("result %d trace_id %q, want batch trace %s", i, r.TraceID, id)
+		}
+	}
+	if br.Results[0].Trace == nil {
+		t.Error("trace:true member lost its span breakdown")
+	}
+	if br.Results[1].Trace != nil {
+		t.Error("untraced member leaked a span breakdown")
+	}
+}

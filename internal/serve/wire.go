@@ -79,13 +79,16 @@ type wireTraceSpan struct {
 }
 
 // wireResult is one answer: exactly one of TopK/Agg on success, Error (with
-// a machine-readable Code) on failure.
+// a machine-readable Code) on failure. TraceID names the request's trace —
+// present on errors too, including 429 and 504, so a refused client still
+// holds the handle into /traces.
 type wireResult struct {
-	TopK  *wireTopK       `json:"topk,omitempty"`
-	Agg   *wireAggResult  `json:"agg,omitempty"`
-	Trace []wireTraceSpan `json:"trace,omitempty"`
-	Error string          `json:"error,omitempty"`
-	Code  string          `json:"code,omitempty"`
+	TopK    *wireTopK       `json:"topk,omitempty"`
+	Agg     *wireAggResult  `json:"agg,omitempty"`
+	Trace   []wireTraceSpan `json:"trace,omitempty"`
+	TraceID string          `json:"trace_id,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Code    string          `json:"code,omitempty"`
 }
 
 // wireBatchResponse answers POST /v1/batch: results in query order,
@@ -208,5 +211,6 @@ func fromResult(res *vkg.Result) wireResult {
 			out.Trace = append(out.Trace, wireTraceSpan{Stage: s.Stage, MS: float64(s.Dur.Microseconds()) / 1000})
 		}
 	}
+	out.TraceID = res.TraceID
 	return out
 }

@@ -197,13 +197,38 @@ type TraceSpan struct {
 	Dur   time.Duration
 }
 
+// ShardSpan is one per-shard child span of a traced query: the crack step's
+// work on a single shard — the wait for the shard's write lock, the time
+// holding it, and the structural deltas attributed to this query.
+type ShardSpan struct {
+	Shard int
+	// Start is the offset from the beginning of the query.
+	Start time.Duration
+	// LockWait is the wait to acquire the shard's write lock; Held the time
+	// holding it to crack.
+	LockWait time.Duration
+	Held     time.Duration
+	Splits   int
+	Nodes    int
+}
+
 // QueryTrace is the per-query breakdown returned when Query.Trace is set:
 // where the time went, stage by stage, plus the cost counters the paper's
 // analysis is stated in. Stages are contiguous, so span durations sum to
 // Wall.
 type QueryTrace struct {
-	Wall  time.Duration
-	Spans []TraceSpan
+	// TraceID is the query's 128-bit trace id (32 hex digits) — the handle
+	// for /traces/<id> on the ops endpoint and the id to propagate in a
+	// traceparent header.
+	TraceID string
+	Wall    time.Duration
+	Spans   []TraceSpan
+	// Shards are the per-shard crack child spans (only shards the query
+	// actually write-locked).
+	Shards []ShardSpan
+	// LeaderTraceID links a coalesced query to the trace of the in-flight
+	// execution it shared; empty otherwise.
+	LeaderTraceID string
 
 	// CacheHit marks a query answered from the result cache; Coalesced one
 	// that shared another in-flight execution.
@@ -240,6 +265,7 @@ func convertTrace(tr *obs.QueryTrace) *QueryTrace {
 		return nil
 	}
 	out := &QueryTrace{
+		TraceID:       tr.TraceID().String(),
 		Wall:          tr.Wall,
 		CacheHit:      tr.CacheHit,
 		Coalesced:     tr.Coalesced,
@@ -250,8 +276,17 @@ func convertTrace(tr *obs.QueryTrace) *QueryTrace {
 		Accessed:      tr.Accessed,
 		BallSize:      tr.BallSize,
 	}
+	if !tr.LeaderTrace.IsZero() {
+		out.LeaderTraceID = tr.LeaderTrace.String()
+	}
 	for _, s := range tr.Spans {
 		out.Spans = append(out.Spans, TraceSpan{Stage: s.Stage, Start: s.Start, Dur: s.Dur})
+	}
+	for _, sh := range tr.Shards {
+		out.Shards = append(out.Shards, ShardSpan{
+			Shard: sh.Shard, Start: sh.Start, LockWait: sh.LockWait, Held: sh.Dur,
+			Splits: sh.Splits, Nodes: sh.Nodes,
+		})
 	}
 	return out
 }
@@ -264,9 +299,13 @@ func (v *VKG) SetSlowQueryThreshold(d time.Duration) { v.eng.SlowLog().SetThresh
 
 // SlowQuery is one entry of the slow-query log.
 type SlowQuery struct {
+	// Time is when the query started.
 	Time    time.Time
 	Query   string
 	Latency time.Duration
+	// TraceID links the entry to its retained trace at /traces/<id> (empty
+	// when the query ran untraced).
+	TraceID string
 	Trace   *QueryTrace
 }
 
@@ -275,7 +314,44 @@ func (v *VKG) SlowQueries() []SlowQuery {
 	entries := v.eng.SlowLog().Entries()
 	out := make([]SlowQuery, 0, len(entries))
 	for _, e := range entries {
-		out = append(out, SlowQuery{Time: e.Time, Query: e.Query, Latency: e.Latency, Trace: convertTrace(e.Trace)})
+		sq := SlowQuery{Time: e.Time, Query: e.Query, Latency: e.Latency, Trace: convertTrace(e.Trace)}
+		if !e.TraceID.IsZero() {
+			sq.TraceID = e.TraceID.String()
+		}
+		out = append(out, sq)
 	}
 	return out
+}
+
+// TraceStats are the trace store's retention counters: how many query
+// traces were offered, how many were kept and why (forced, tail status,
+// slow, head sample), and the store's current occupancy.
+type TraceStats struct {
+	Offered    uint64
+	Kept       uint64
+	KeptForced uint64
+	KeptTail   uint64
+	KeptSlow   uint64
+	KeptHead   uint64
+	Evicted    uint64
+	Resident   int
+}
+
+// SetTraceHeadRate sets the head-sampling fraction of the trace store: that
+// share of fast, successful queries is retained for /traces (clamped to
+// [0, 1]; errors and slow queries are always retained regardless). The
+// default is 0 — embedded engines pay nothing until a server arms it.
+func (v *VKG) SetTraceHeadRate(rate float64) { v.eng.Traces().SetHeadRate(rate) }
+
+// SetTraceSlowThreshold sets the latency above which a query's trace is
+// always retained (default 100ms); a non-positive d disables slow retention.
+func (v *VKG) SetTraceSlowThreshold(d time.Duration) { v.eng.Traces().SetSlowThreshold(d) }
+
+// TraceStats returns the trace store's retention counters.
+func (v *VKG) TraceStats() TraceStats {
+	s := v.eng.Traces().Stats()
+	return TraceStats{
+		Offered: s.Offered, Kept: s.Kept, KeptForced: s.KeptForced, KeptTail: s.KeptTail,
+		KeptSlow: s.KeptSlow, KeptHead: s.KeptHead, Evicted: s.Evicted, Resident: s.Resident,
+	}
 }

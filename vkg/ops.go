@@ -12,14 +12,16 @@ import (
 // OpsHandler returns the ops HTTP handler for this VKG:
 //
 //	/metrics      Prometheus text exposition of every engine counter
+//	              (OpenMetrics with trace-id exemplars when Accept asks)
 //	/debug/vars   expvar JSON (the registry is published under "vkg")
 //	/debug/pprof/ the standard pprof profile handlers
 //	/slowlog      recent slow queries with stage breakdowns, as JSON
+//	/traces       retained query traces (JSON list; /traces/<id> for one)
 //
 // Mount it on an existing server, or use ServeOps to run a dedicated
 // listener.
 func (v *VKG) OpsHandler() http.Handler {
-	return obs.Handler(v.eng.Registry(), v.eng.SlowLog())
+	return obs.Handler(v.eng.Registry(), v.eng.SlowLog(), v.eng.Traces())
 }
 
 // OpsServer is a running ops HTTP listener (see ServeOps).

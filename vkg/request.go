@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"vkgraph/internal/core"
+	"vkgraph/internal/obs"
 )
 
 // This file is the unified request API: every query the method pairs
@@ -56,6 +57,14 @@ type Query struct {
 	// Trace requests a per-stage timing breakdown in Result.Trace. The cost
 	// is two timestamps per stage; leave it off for throughput runs.
 	Trace bool
+	// TraceParent joins the query to an existing distributed trace: a W3C
+	// `traceparent` header value ("00-<traceid>-<spanid>-<flags>") whose
+	// trace id the query adopts and whose span becomes the parent of the
+	// query's span. A sampled flag (01) forces the trace's retention in the
+	// trace store. Malformed values are ignored (the query runs with a fresh
+	// trace, per the spec). Setting TraceParent activates tracing even when
+	// Trace is false.
+	TraceParent string
 }
 
 // Result is the answer to one Query: TopK is set for top-k queries, Agg for
@@ -68,6 +77,9 @@ type Result struct {
 	// Trace is the stage breakdown when the query asked for one (or the
 	// slow-query log forced tracing on); nil otherwise.
 	Trace *QueryTrace
+	// TraceID is the query's 128-bit trace id as 32 hex digits, set whenever
+	// the query ran traced — the handle for /traces/<id> on the ops endpoint.
+	TraceID string
 }
 
 // Do answers one query, honoring ctx cancellation. Repeat top-k queries on
@@ -129,6 +141,11 @@ func (v *VKG) toRequest(q Query) (core.Request, error) {
 		NoIndex: v.noIdx,
 		Trace:   q.Trace,
 	}
+	if q.TraceParent != "" {
+		if id, span, sampled, ok := obs.ParseTraceparent(q.TraceParent); ok {
+			req.TraceID, req.ParentSpan, req.TraceForced = id, span, sampled
+		}
+	}
 	if q.Epsilon < 0 {
 		return req, fmt.Errorf("vkg: negative epsilon %v", q.Epsilon)
 	}
@@ -171,6 +188,9 @@ func (v *VKG) convertResponse(resp core.Response) (*Result, error) {
 		return nil, resp.Err
 	}
 	res := &Result{Trace: convertTrace(resp.Trace)}
+	if resp.Trace != nil {
+		res.TraceID = resp.Trace.TraceID().String()
+	}
 	if resp.TopK != nil {
 		res.TopK = v.convert(resp.TopK)
 	}
