@@ -8,6 +8,8 @@
 //	vkg-bench -exp fig3                # one experiment at full scale
 //	vkg-bench -exp all -scale tiny     # smoke-run everything
 //	vkg-bench -batch -parallel 8       # serving throughput: serial vs DoBatch
+//	vkg-bench -wal -dataset movie -scale tiny
+//	                                   # warm restart via WAL replay vs cold rebuild
 //	vkg-bench -serve-addr :8080 -dataset movie -scale tiny -parallel 16
 //	                                   # closed-loop HTTP load against vkg-serve:
 //	                                   # throughput, p50/p99 latency, shed rate
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"vkgraph/internal/experiments"
+	"vkgraph/vkg"
 )
 
 func main() {
@@ -38,6 +41,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker-pool size for -batch, client count for -serve-addr (0 = GOMAXPROCS-derived)")
 		shards   = flag.Int("shards", 0, "spatial index shards for -batch (power of two; 0 = derive from GOMAXPROCS, 1 = unsharded)")
 		metrics  = flag.String("metrics-addr", "", "serve ops HTTP (Prometheus /metrics, pprof) on this address during -batch")
+
+		walBench = flag.Bool("wal", false, "warm-restart mode: serve a workload with a WAL armed, then compare restart-via-replay against a cold rebuild")
 
 		serveAddr = flag.String("serve-addr", "", "benchmark a running vkg-serve at this host:port instead of an in-process engine")
 		tenant    = flag.String("tenant", "", "tenant name for -serve-addr (optional when the server has one tenant)")
@@ -60,6 +65,19 @@ func main() {
 		}
 		if err := runServeClient(os.Stdout, *serveAddr, *tenant, *dataset, sc, *queries, *topk, *parallel, *timeoutMS); err != nil {
 			fmt.Fprintf(os.Stderr, "vkg-bench: serve-addr: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *walBench {
+		sc, err := parseScale(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vkg-bench:", err)
+			os.Exit(2)
+		}
+		if err := runWALBench(os.Stdout, *dataset, *scale, sc, *queries, *topk, vkg.WALConfig{}); err != nil {
+			fmt.Fprintf(os.Stderr, "vkg-bench: wal: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vkgraph/internal/experiments"
+	"vkgraph/vkg"
+)
+
+// runWALBench is the -wal mode: it measures what the write-ahead log buys
+// on restart. One process builds an engine, arms a WAL on a cold anchor
+// snapshot, and serves a workload whose crack splits land in the log; then
+// the restart is played both ways:
+//
+//	warm  LoadFileWAL — replay the logged cracks onto the snapshot and
+//	      serve the same workload on the pre-warmed index,
+//	cold  rebuild the engine from graph+model (no snapshot at all) and
+//	      serve the workload, paying every split again.
+//
+// The anchor snapshot is written before any query runs, so every split the
+// workload causes must come back through replay — the worst case for the
+// WAL, and still far cheaper than re-cracking.
+func runWALBench(w io.Writer, dataset, scaleName string, sc experiments.Scale, n, k int, cfg vkg.WALConfig) error {
+	ds, err := experiments.LoadDataset(dataset, sc)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "vkg-walbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "bench.vkg")
+
+	v1, err := vkg.Build(vkg.WrapGraph(ds.G), vkg.WithPretrainedModel(ds.M), vkg.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	if err := v1.EnableWAL(snap, cfg); err != nil {
+		return err
+	}
+
+	workload := experiments.Workload(ds.G, n, 99)
+	queries := make([]vkg.Query, len(workload))
+	for i, q := range workload {
+		dir := vkg.Tails
+		if !q.Tail {
+			dir = vkg.Heads
+		}
+		queries[i] = vkg.Query{Kind: vkg.TopK, Dir: dir, Entity: q.E, Relation: q.R, K: k}
+	}
+	ctx := context.Background()
+
+	run := func(v *vkg.VKG) (time.Duration, error) {
+		start := time.Now()
+		for i, res := range v.DoBatch(ctx, queries) {
+			if res.Err != nil {
+				return 0, fmt.Errorf("query %d: %w", i, res.Err)
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	firstServe, err := run(v1)
+	if err != nil {
+		return err
+	}
+	splits := v1.Metrics().CrackSplits
+	ws := v1.WALStats()
+	if err := v1.CloseWAL(); err != nil {
+		return err
+	}
+
+	// Warm restart: snapshot + log replay, then the same workload on the
+	// replayed index.
+	start := time.Now()
+	v2, err := vkg.LoadFileWAL(snap, cfg)
+	if err != nil {
+		return err
+	}
+	warmLoad := time.Since(start)
+	rs := v2.WALStats()
+	warmServe, err := run(v2)
+	if err != nil {
+		return err
+	}
+	warmSplits := v2.Metrics().CrackSplits
+	if err := v2.CloseWAL(); err != nil {
+		return err
+	}
+
+	// Cold restart: rebuild from graph+model and pay the cracking again.
+	start = time.Now()
+	v3, err := vkg.Build(vkg.WrapGraph(ds.G), vkg.WithPretrainedModel(ds.M), vkg.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	coldBuild := time.Since(start)
+	coldServe, err := run(v3)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "dataset=%s scale=%s queries=%d k=%d\n", dataset, scaleName, len(queries), k)
+	fmt.Fprintf(w, "first run:    serve %v (%d splits, %d WAL records, %d bytes logged)\n",
+		firstServe.Round(time.Microsecond), splits, ws.AppendedRecords, ws.AppendedBytes)
+	fmt.Fprintf(w, "warm restart: load+replay %v (%d records in %v), serve %v (%d splits)\n",
+		warmLoad.Round(time.Microsecond), rs.ReplayedRecords,
+		rs.ReplayDuration.Round(time.Microsecond), warmServe.Round(time.Microsecond), warmSplits)
+	fmt.Fprintf(w, "cold restart: rebuild %v, serve %v (re-cracking)\n",
+		coldBuild.Round(time.Microsecond), coldServe.Round(time.Microsecond))
+	// Time until the index is warm again: the warm restart has the pre-kill
+	// tree the moment replay finishes; the cold restart regains it only
+	// after the whole workload has re-paid its splits.
+	fmt.Fprintf(w, "time-to-warm-index: warm %v vs cold %v (%.1fx)\n",
+		warmLoad.Round(time.Microsecond),
+		(coldBuild + coldServe).Round(time.Microsecond),
+		(coldBuild+coldServe).Seconds()/warmLoad.Seconds())
+	return nil
+}

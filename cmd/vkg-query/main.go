@@ -56,15 +56,30 @@ func main() {
 		trace       = flag.Bool("trace", false, "print the per-stage timing breakdown of each answer")
 		bench       = flag.Int("bench", 0, "repeat the one-shot query this many times and print a metrics summary")
 		metricsAddr = flag.String("metrics-addr", "", "serve ops HTTP (Prometheus /metrics, pprof, /slowlog) on this address")
+		wal         = flag.Bool("wal", false, "with -snapshot: replay and keep appending the snapshot's write-ahead log, so crack work survives restarts")
 	)
 	flag.Parse()
+
+	if *wal && *snapshot == "" {
+		fatal("-wal requires -snapshot (the log is keyed to a snapshot file)")
+	}
 
 	var v *vkg.VKG
 	if *snapshot != "" {
 		var err error
-		v, err = vkg.LoadFile(*snapshot)
+		if *wal {
+			v, err = vkg.LoadFileWAL(*snapshot, vkg.WALConfig{})
+		} else {
+			v, err = vkg.LoadFile(*snapshot)
+		}
 		if err != nil {
 			fatal("loading snapshot: %v", err)
+		}
+		if *wal {
+			ws := v.WALStats()
+			fmt.Fprintf(os.Stderr, "vkg-query: WAL %s gen %d: replayed %d records in %v\n",
+				ws.Path, ws.Generation, ws.ReplayedRecords, ws.ReplayDuration)
+			defer v.CloseWAL()
 		}
 		if v.IndexRebuilt() {
 			fmt.Fprintln(os.Stderr,

@@ -14,6 +14,11 @@
 // loading the cached embedding, and is not saved on drain unless -gen-save
 // gives it a path.
 //
+// With -wal, each snapshot-backed tenant keeps a write-ahead log beside its
+// snapshot: mutations and crack splits accrued between saves are replayed on
+// the next load, so a restart — even an unclean one — comes back warm
+// instead of rebuilding a cold index. -wal-sync picks the fsync policy.
+//
 // Query it:
 //
 //	curl -s localhost:8080/v1/query -d '{"tenant":"movie","entity":"user17","relation":"likes","k":5}'
@@ -81,6 +86,9 @@ func main() {
 		traceHead    = flag.Float64("trace-head-rate", 1.0/64, "fraction of fast, successful traces retained for /traces (errors and slow requests are always kept; <0 disables)")
 		traceSlow    = flag.Duration("trace-slow", 100*time.Millisecond, "latency above which a trace is always retained")
 		accessLog    = flag.String("access-log", "", "write one JSON line per request to this file ('-' for stderr)")
+		walOn        = flag.Bool("wal", false, "arm a write-ahead log beside each tenant snapshot: -snapshot tenants replay it on load, -gen tenants with a -gen-save path log into it")
+		walSync      = flag.String("wal-sync", "interval", "WAL fsync policy: interval, always, or off")
+		walInterval  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync ticker period under -wal-sync=interval")
 	)
 	flag.Var(&snapshots, "snapshot", "serve an engine snapshot as a tenant: name=path (repeatable; saved back on drain)")
 	flag.Var(&gens, "gen", "serve a generated dataset as a tenant: name=dataset:scale, e.g. movie=movie:tiny (repeatable)")
@@ -91,6 +99,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vkg-serve: no tenants; pass at least one -snapshot or -gen")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	walCfg := vkg.WALConfig{SyncInterval: *walInterval}
+	switch *walSync {
+	case "interval":
+		walCfg.Sync = vkg.WALSyncInterval
+	case "always":
+		walCfg.Sync = vkg.WALSyncAlways
+	case "off":
+		walCfg.Sync = vkg.WALSyncOff
+	default:
+		fatal("unknown -wal-sync %q (want interval, always, or off)", *walSync)
 	}
 
 	var accessW io.Writer
@@ -135,9 +155,20 @@ func main() {
 	for _, kv := range snapshots {
 		name, path := splitPair(kv)
 		fmt.Fprintf(os.Stderr, "vkg-serve: loading tenant %q from %s\n", name, path)
-		v, err := vkg.LoadFile(path)
+		var v *vkg.VKG
+		var err error
+		if *walOn {
+			v, err = vkg.LoadFileWAL(path, walCfg)
+		} else {
+			v, err = vkg.LoadFile(path)
+		}
 		if err != nil {
 			fatal("loading snapshot %s: %v", path, err)
+		}
+		if *walOn {
+			ws := v.WALStats()
+			fmt.Fprintf(os.Stderr, "vkg-serve: tenant %q WAL %s gen %d: replayed %d records in %v (dropped %d bytes, truncations %d, stale %d)\n",
+				name, ws.Path, ws.Generation, ws.ReplayedRecords, ws.ReplayDuration, ws.ReplayDroppedBytes, ws.ReplayTruncations, ws.ReplayStale)
 		}
 		if err := s.AddTenant(name, serve.NewTenant(v, path)); err != nil {
 			fatal("%v", err)
@@ -169,6 +200,12 @@ func main() {
 			vkg.WithAttributes(gr.AttrNames()...))
 		if err != nil {
 			fatal("tenant %q: building engine: %v", name, err)
+		}
+		if *walOn && savePaths[name] != "" {
+			if err := v.EnableWAL(savePaths[name], walCfg); err != nil {
+				fatal("tenant %q: arming WAL: %v", name, err)
+			}
+			fmt.Fprintf(os.Stderr, "vkg-serve: tenant %q WAL armed at %s\n", name, v.WALStats().Path)
 		}
 		if err := s.AddTenant(name, serve.NewTenant(v, savePaths[name])); err != nil {
 			fatal("%v", err)

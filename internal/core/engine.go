@@ -7,8 +7,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
+	"io"
 	"math"
 	"runtime"
 	"sync"
@@ -204,6 +207,22 @@ type Engine struct {
 	// degraded records that LoadEngine had to rebuild a cold index because
 	// the snapshot's index section was damaged.
 	degraded bool
+
+	// droppedAttrs lists attributes named by the snapshot but missing from
+	// the loaded graph: the load degrades by dropping them (aggregates over
+	// them return ErrUnknownAttribute) instead of failing a snapshot whose
+	// graph and model are intact. Written once at load, then read-only.
+	droppedAttrs []string
+
+	// snapGen is the WAL generation the loaded snapshot was written at (0
+	// for plain saves and engines not built from a snapshot); attachWAL
+	// replays only a log keyed to exactly this generation.
+	snapGen uint64
+
+	// wal is the write-ahead log writer state (see wal.go). Embedded by
+	// value so the metric closures registered in initExec can read its
+	// atomic counters before the log is armed.
+	wal walState
 }
 
 // initExec sets up the batch-executor state (metrics, result cache,
@@ -347,6 +366,50 @@ func (e *Engine) Mode() IndexMode { return e.mode }
 // rebuilt cold and the workload-paid-for shape was lost.
 func (e *Engine) IndexRebuilt() bool { return e.degraded }
 
+// DroppedAttrs returns the attributes the snapshot named but the loaded
+// graph did not carry; the load dropped them instead of failing (see the
+// degraded-load contract in persist.go). Empty on healthy loads.
+func (e *Engine) DroppedAttrs() []string {
+	return append([]string(nil), e.droppedAttrs...)
+}
+
+// StructureHash digests the structural state of the whole index — the
+// shard router frame, each shard tree's StructureHash, and the registered
+// attribute columns — into one 64-bit value. A snapshot plus WAL replay
+// must land on exactly the hash the live engine had at its last append;
+// the WAL tests assert this equivalence.
+func (e *Engine) StructureHash() uint64 {
+	e.prepareIndex()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.rlockShards()
+	defer e.runlockShards()
+	h := crc64.New(crc64.MakeTable(crc64.ECMA))
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putU64(uint64(e.ps.Dim))
+	putU64(uint64(e.ps.N()))
+	lo, hi := e.router.Frame()
+	for _, v := range lo {
+		putU64(math.Float64bits(v))
+	}
+	for _, v := range hi {
+		putU64(math.Float64bits(v))
+	}
+	putU64(uint64(len(e.shards)))
+	for _, sh := range e.shards {
+		putU64(sh.tree.StructureHash())
+	}
+	for _, name := range e.ps.AttrNames() {
+		putU64(uint64(len(name)))
+		io.WriteString(h, name)
+	}
+	return h.Sum64()
+}
+
 // EntityName returns the display name of an entity, synchronized against
 // concurrent InsertEntity calls.
 func (e *Engine) EntityName(id kg.EntityID) string {
@@ -480,6 +543,10 @@ func (e *Engine) finishQuery(q rtree.Rect, doCrack bool, tr *obs.QueryTrace) {
 			splits0, nodes0 := sh.tree.Splits(), sh.tree.NodesCreated()
 			c0 := time.Now()
 			sh.tree.Crack(q)
+			// Log the crack while still holding this shard's write lock:
+			// per-shard record order then matches apply order, which replay
+			// depends on (cracks commute across shards, not within one).
+			e.walAppendCrack(i, q)
 			held := time.Since(c0)
 			ds := sh.tree.Splits() - splits0
 			dn := sh.tree.NodesCreated() - nodes0

@@ -56,6 +56,10 @@ type engineMetrics struct {
 	// crackLock/lockWriteWait crack-path observations.
 	shardWriteWait []*obs.Histogram
 	shardCrackLock []*obs.Histogram
+
+	// walFsync observes every durability barrier the WAL writer issues
+	// (per-append under WALSyncAlways, per-tick under WALSyncInterval).
+	walFsync *obs.Histogram
 }
 
 func newEngineMetrics(e *Engine) *engineMetrics {
@@ -124,6 +128,29 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		stats(func(s obs.TraceStoreStats) uint64 { return s.Evicted }))
 	r.GaugeFunc("vkg_trace_store_resident", "Trace records currently retained.", func() float64 {
 		return float64(e.traces.Len())
+	})
+
+	// Write-ahead log counters: the append side reads the walState atomics
+	// directly (registered before the log is armed — they are embedded by
+	// value on the engine), the replay side describes the warm-up of the
+	// most recent load.
+	m.walFsync = r.Histogram("vkg_wal_fsync_seconds", "WAL fsync latency (per append under sync=always, per tick under sync=interval).", nil)
+	r.CounterFunc("vkg_wal_appended_records_total", "Records appended to the write-ahead log.", e.wal.appended.Load)
+	r.CounterFunc("vkg_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", e.wal.bytes.Load)
+	r.CounterFunc("vkg_wal_rotations_total", "Write-ahead log rotations (one per WAL-armed snapshot).", e.wal.rotations.Load)
+	r.CounterFunc("vkg_wal_append_errors_total", "Records lost to WAL append failures (including records skipped while disarmed by a sticky error).", e.wal.appendErrs.Load)
+	r.CounterFunc("vkg_wal_replay_records_total", "WAL records replayed at load to warm the index.", e.wal.replayRecords.Load)
+	r.CounterFunc("vkg_wal_replay_dropped_bytes_total", "Torn or corrupt WAL suffix bytes truncated at load.", e.wal.replayDropped.Load)
+	r.CounterFunc("vkg_wal_replay_truncations_total", "Loads that truncated a torn or corrupt WAL suffix.", e.wal.replayTorn.Load)
+	r.CounterFunc("vkg_wal_replay_stale_total", "WAL files discarded whole for a snapshot-generation mismatch.", e.wal.replayStale.Load)
+	r.GaugeFunc("vkg_wal_replay_seconds", "Wall time the most recent load spent replaying the WAL.", func() float64 {
+		return float64(e.wal.replayNanos.Load()) / 1e9
+	})
+
+	// Degraded-load visibility: attributes the snapshot named but the
+	// loaded graph did not carry (dropped instead of failing the load).
+	r.GaugeFunc("vkg_load_dropped_attrs", "Attributes dropped at load because the snapshot named them but the graph lacked their columns.", func() float64 {
+		return float64(len(e.droppedAttrs))
 	})
 
 	r.GaugeFunc("vkg_graph_generation", "Graph mutation counter (AddFact/InsertEntity).", func() float64 {
@@ -295,6 +322,14 @@ type MetricsSnapshot struct {
 	// Traces are the trace store's retention counters.
 	Traces obs.TraceStoreStats
 
+	// WAL is the write-ahead log state: append/rotation counters on the
+	// write side, replay/truncation counters from the most recent load.
+	WAL WALStats
+
+	// DroppedAttrs lists attributes the snapshot named but the loaded
+	// graph lacked; the load dropped them instead of failing.
+	DroppedAttrs []string
+
 	Generation uint64
 }
 
@@ -348,6 +383,8 @@ func (e *Engine) MetricsSnapshot() MetricsSnapshot {
 		ResidentPoints:     resident,
 		GCPauseP99:         gcPauseP99(),
 		Traces:             e.traces.Stats(),
+		WAL:                e.WALStats(),
+		DroppedAttrs:       e.DroppedAttrs(),
 		Generation:         e.gen.Load(),
 	}
 }

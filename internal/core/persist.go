@@ -51,10 +51,24 @@ const (
 	engineSections = 4
 )
 
-// wireMeta carries the engine parameters and index mode.
+// wireMeta carries the engine parameters and index mode, plus two fields
+// added with the WAL (older readers ignore unknown gob fields; older
+// snapshots decode them as zero, keeping version 3):
+//
+//   - WalGen keys the snapshot to its sidecar write-ahead log. It is
+//     nonzero only in snapshots written by the WAL rotation path; a plain
+//     Save always writes 0, so a log can never be replayed onto a snapshot
+//     it does not extend.
+//   - EffAttrs is the effective attribute list — the point set's registered
+//     columns at save time, which may exceed Params.Attrs once attributes
+//     were added dynamically. Params.Attrs stays the build-time set; load
+//     registers EffAttrs (falling back to Params.Attrs for old snapshots),
+//     so dynamically added columns survive the round-trip.
 type wireMeta struct {
-	Params Params
-	Mode   IndexMode
+	Params   Params
+	Mode     IndexMode
+	WalGen   uint64
+	EffAttrs []string
 }
 
 // wireSharded is the version-2 index section: the routing frame (which must
@@ -77,8 +91,19 @@ func (e *Engine) Save(w io.Writer) error {
 	defer e.mu.RUnlock()
 	e.rlockShards()
 	defer e.runlockShards()
+	// Standalone saves carry WalGen 0: no log is ever keyed to them, so a
+	// stray .wal file beside a copied snapshot can never be replayed onto
+	// it. Only SaveFile's rotation path writes a nonzero generation.
+	return e.saveLocked(w, 0)
+}
+
+// saveLocked encodes the snapshot; the caller holds the engine read lock
+// and every shard read lock (so no mutation or crack can interleave), and
+// passes the WAL generation to stamp into the meta section.
+func (e *Engine) saveLocked(w io.Writer, walGen uint64) error {
 	var metaBuf, graphBuf, modelBuf, treeBuf bytes.Buffer
-	if err := gob.NewEncoder(&metaBuf).Encode(wireMeta{Params: e.params, Mode: e.mode}); err != nil {
+	meta := wireMeta{Params: e.params, Mode: e.mode, WalGen: walGen, EffAttrs: e.ps.AttrNames()}
+	if err := gob.NewEncoder(&metaBuf).Encode(meta); err != nil {
 		return fmt.Errorf("core: saving params: %w", err)
 	}
 	if err := e.g.Save(&graphBuf); err != nil {
@@ -172,10 +197,24 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	if p.PackedCoords {
 		ps.EnablePacked()
 	}
-	for _, name := range p.Attrs {
+	// Register the effective attribute list — the columns the point set had
+	// at save time, a superset of the build-time Params.Attrs once
+	// attributes were added dynamically. Old snapshots have no EffAttrs and
+	// fall back to Params.Attrs. A name the loaded graph does not carry is
+	// dropped with the load degraded (visible via DroppedAttrs and the
+	// vkg_load_dropped_attrs gauge) rather than failing a snapshot whose
+	// graph and model are intact — the same spirit as the index-section
+	// degrade contract.
+	attrs := meta.EffAttrs
+	if len(attrs) == 0 {
+		attrs = p.Attrs
+	}
+	var droppedAttrs []string
+	for _, name := range attrs {
 		col, ok := g.AttrColumn(name)
 		if !ok {
-			return nil, fmt.Errorf("core: attribute %q missing from loaded graph", name)
+			droppedAttrs = append(droppedAttrs, name)
+			continue
 		}
 		ps.RegisterAttr(name, col)
 	}
@@ -202,12 +241,14 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	}
 
 	e := &Engine{
-		g:      g,
-		m:      m,
-		tf:     tf,
-		ps:     ps,
-		layout: newS1Layout(m, coords, p.Alpha),
-		mode:   meta.Mode,
+		g:            g,
+		m:            m,
+		tf:           tf,
+		ps:           ps,
+		layout:       newS1Layout(m, coords, p.Alpha),
+		mode:         meta.Mode,
+		droppedAttrs: droppedAttrs,
+		snapGen:      meta.WalGen,
 	}
 	if treeErr != nil {
 		// Graph and model survived; rebuild a cold index rather than fail.
@@ -267,8 +308,37 @@ func haveCoreSections(sections map[uint8][]byte) bool {
 // SaveFile writes the engine to path atomically: the bytes land in a temp
 // file that is synced and renamed over path, so a crash mid-save leaves any
 // previous snapshot untouched.
+//
+// When a WAL is configured and path is its snapshot path, the save also
+// rotates the log: the snapshot is stamped with the next generation,
+// renamed into place, and the log is atomically replaced with an empty one
+// keyed to that generation — all inside one critical section (engine read
+// lock + shard read locks + WAL mutex) so no append can land in the old
+// log after the snapshot that supersedes it, and no mutation can fall in
+// the gap between snapshot and rotation. A crash between the two renames
+// leaves the new snapshot with the old generation's log beside it; the
+// generation mismatch makes load discard that log whole (ReplayStale)
+// instead of replaying records the snapshot already contains.
 func (e *Engine) SaveFile(path string) error {
-	return atomicfile.WriteFile(path, e.Save)
+	e.prepareIndex()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.rlockShards()
+	defer e.runlockShards()
+	e.wal.mu.Lock()
+	defer e.wal.mu.Unlock()
+	if e.wal.configured && path == e.wal.snapPath {
+		gen := e.wal.gen + 1
+		if err := atomicfile.WriteFile(path, func(w io.Writer) error {
+			return e.saveLocked(w, gen)
+		}); err != nil {
+			return err
+		}
+		return e.rotateWALLocked(gen)
+	}
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		return e.saveLocked(w, 0)
+	})
 }
 
 // LoadEngineFile reads an engine from path.

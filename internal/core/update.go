@@ -43,6 +43,17 @@ func (e *Engine) AddFact(h kg.EntityID, r kg.RelationID, t kg.EntityID) error {
 	e.mu.Lock()
 	e.met.lockWriteWait.Observe(time.Since(w0).Seconds())
 	defer e.mu.Unlock()
+	if err := e.addFactLocked(h, r, t); err != nil {
+		return err
+	}
+	e.walAppendAddFact(h, r, t)
+	return nil
+}
+
+// addFactLocked validates and applies one fact; shared by the live AddFact
+// path and WAL replay, so both mutate identically. Caller holds the engine
+// write lock (or is the single-threaded replay).
+func (e *Engine) addFactLocked(h kg.EntityID, r kg.RelationID, t kg.EntityID) error {
 	if err := e.validateEntity(h); err != nil {
 		return err
 	}
@@ -59,6 +70,37 @@ func (e *Engine) AddFact(h kg.EntityID, r kg.RelationID, t kg.EntityID) error {
 	return nil
 }
 
+// SetAttr sets attribute name of entity id, creating the attribute column
+// if the graph has never seen the name. A brand-new column is registered
+// with the point set immediately, so aggregates over it work without a
+// restart. SetAttr is a writer: it takes the engine write lock.
+func (e *Engine) SetAttr(name string, id kg.EntityID, v float64) error {
+	w0 := time.Now()
+	e.mu.Lock()
+	e.met.lockWriteWait.Observe(time.Since(w0).Seconds())
+	defer e.mu.Unlock()
+	if err := e.validateEntity(id); err != nil {
+		return err
+	}
+	e.setAttrLocked(name, id, v)
+	e.gen.Add(1) // cached aggregate answers may include this attribute
+	e.walAppendSetAttr(name, id, v)
+	return nil
+}
+
+// setAttrLocked writes the attribute value and keeps the point set's
+// column binding current: growing a column can reallocate it, and a name
+// the point set has never registered is registered on the spot — the
+// register-on-miss that makes dynamically added attributes queryable.
+func (e *Engine) setAttrLocked(name string, id kg.EntityID, v float64) {
+	e.g.SetAttr(name, id, v)
+	if col, ok := e.g.AttrColumn(name); ok {
+		if !e.ps.RefreshAttr(name, col) {
+			e.ps.RegisterAttr(name, col)
+		}
+	}
+}
+
 // InsertEntity adds a new entity with at least one initial fact and returns
 // its id. The entity's S1 vector is the mean of the positions implied by
 // its facts (h + r for tail roles, t - r for head roles) — the local least-
@@ -72,6 +114,24 @@ func (e *Engine) InsertEntity(name, typ string, facts []Fact, attrs map[string]f
 	e.mu.Lock()
 	e.met.lockWriteWait.Observe(time.Since(w0).Seconds())
 	defer e.mu.Unlock()
+	// Sort the attribute map into parallel slices before anything touches
+	// the engine: the same canonical order goes into the mutation and the
+	// WAL record, so replay registers columns in the order the live call
+	// did.
+	attrNames, attrVals := sortAttrs(attrs)
+	id, err := e.insertEntityLocked(name, typ, facts, attrNames, attrVals)
+	if err != nil {
+		return 0, err
+	}
+	e.walAppendInsert(name, typ, facts, attrNames, attrVals)
+	return id, nil
+}
+
+// insertEntityLocked is the shared body of InsertEntity and WAL replay:
+// full validation before the first mutation, then graph, model, layout,
+// point set, and index grow in lockstep. Caller holds the engine write
+// lock (or is the single-threaded replay).
+func (e *Engine) insertEntityLocked(name, typ string, facts []Fact, attrNames []string, attrVals []float64) (kg.EntityID, error) {
 	if len(facts) == 0 {
 		return 0, errors.New("core: InsertEntity needs at least one fact to place the entity")
 	}
@@ -130,11 +190,12 @@ func (e *Engine) InsertEntity(name, typ string, facts []Fact, attrs map[string]f
 			_ = e.g.InsertTripleDynamic(f.Other, f.Rel, id)
 		}
 	}
-	for name, v := range attrs {
-		e.g.SetAttr(name, id, v)
-		if col, ok := e.g.AttrColumn(name); ok {
-			e.ps.RefreshAttr(name, col)
-		}
+	for i, an := range attrNames {
+		// setAttrLocked registers never-seen attribute names with the point
+		// set (register-on-miss) — previously a new name was written to the
+		// graph but never bound, so aggregates over it reported
+		// ErrUnknownAttribute on live data.
+		e.setAttrLocked(an, id, attrVals[i])
 	}
 
 	p2 := e.tf.Apply(vec)

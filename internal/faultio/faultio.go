@@ -106,6 +106,40 @@ func (c *CorruptingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// TruncateTail cuts the last n bytes off the file at path — the on-disk
+// shape of a torn final write, as left by a crash mid-append.
+func TruncateTail(path string, n int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := st.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// FlipByte XORs the byte at off in the file at path with mask (0 flips all
+// eight bits) — in-place bit rot that a checksum must catch.
+func FlipByte(path string, off int64, mask byte) error {
+	if mask == 0 {
+		mask = 0xFF
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= mask
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
 // FS is an atomicfile.FS that delegates to the real filesystem but can fail
 // any individual step: temp-file creation, writes past a byte budget, sync,
 // close, or the final rename. It also records what it did, so tests can

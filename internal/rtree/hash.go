@@ -1,0 +1,78 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+	"math"
+	"sort"
+)
+
+// hashTab is shared by every StructureHash call; crc64.MakeTable caches
+// internally but holding the table avoids the lookup per node.
+var hashTab = crc64.MakeTable(crc64.ECMA)
+
+// StructureHash digests the tree's structural state — node kinds, child
+// counts, MBRs, and point ids in stored order, plus the sorted deleted set —
+// into one 64-bit value. Two trees hash equal iff a query walk would visit
+// identical nodes in identical order, which is the contract WAL replay must
+// meet: a snapshot plus replayed crack/insert records must rebuild this
+// exact shape.
+//
+// Access counters (queries, splits, explored) are deliberately excluded:
+// the live tree counts every query via NoteQuery while replay only re-runs
+// the structural subset, so counters legitimately diverge between a tree
+// and its replayed twin.
+func (t *Tree) StructureHash() uint64 {
+	t.ensureRoot()
+	h := crc64.New(hashTab)
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putIDs := func(ids []int32) {
+		putU64(uint64(len(ids)))
+		for _, id := range ids {
+			putU64(uint64(uint32(id)))
+		}
+	}
+	putU64(uint64(t.ps.Dim))
+	putU64(uint64(t.initialN))
+	// deleted is a map: range order is nondeterministic, so sort before
+	// hashing (Save has the same obligation when it persists the set).
+	if len(t.deleted) > 0 {
+		del := make([]int32, 0, len(t.deleted))
+		for id := range t.deleted {
+			del = append(del, id)
+		}
+		sort.Slice(del, func(i, j int) bool { return del[i] < del[j] })
+		putIDs(del)
+	} else {
+		putU64(0)
+	}
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		for _, v := range nd.mbr.Lo {
+			putU64(math.Float64bits(v))
+		}
+		for _, v := range nd.mbr.Hi {
+			putU64(math.Float64bits(v))
+		}
+		switch {
+		case nd.isInternal():
+			putU64(0)
+			putU64(uint64(len(nd.children)))
+			for _, c := range nd.children {
+				walk(c)
+			}
+		case nd.isLeaf():
+			putU64(1)
+			putIDs(nd.leafIDs)
+		default:
+			putU64(2)
+			putIDs(nd.part.ids())
+		}
+	}
+	walk(t.root)
+	return h.Sum64()
+}

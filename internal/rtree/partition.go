@@ -148,7 +148,9 @@ func (p *partition) computeMBR(ps *PointSet) {
 func (p *partition) attrStats(ps *PointSet, ai int) AttrStats {
 	p.statsMu.Lock()
 	defer p.statsMu.Unlock()
-	if p.stats == nil {
+	// Rebuild rather than reuse when columns registered after the cache was
+	// filled (attributes can be added to a live engine at any time).
+	if p.stats == nil || len(p.stats) < ps.NumAttrs() {
 		p.stats = make([]AttrStats, ps.NumAttrs())
 		for i := range p.stats {
 			p.stats[i] = ps.attrStats(i, p.orders[0])

@@ -109,14 +109,25 @@ func (ps *PointSet) RegisterAttr(name string, col []float64) {
 }
 
 // RefreshAttr re-binds a registered attribute column (needed when the
-// owning graph reallocated the column while growing it).
-func (ps *PointSet) RefreshAttr(name string, col []float64) {
+// owning graph reallocated the column while growing it). It reports whether
+// the name was registered; a false return means the caller is holding a
+// column the point set has never seen and must RegisterAttr it to make the
+// attribute queryable.
+func (ps *PointSet) RefreshAttr(name string, col []float64) bool {
 	for i, n := range ps.attrNames {
 		if n == name {
 			ps.attrCols[i] = col
-			return
+			return true
 		}
 	}
+	return false
+}
+
+// AttrNames returns a copy of the registered attribute names in
+// registration order — the effective attribute list, which may exceed the
+// build-time set once attributes were added dynamically.
+func (ps *PointSet) AttrNames() []string {
+	return append([]string(nil), ps.attrNames...)
 }
 
 // AttrIndex returns the registration index for attribute name, or -1.

@@ -60,7 +60,9 @@ type Resolver interface {
 
 // Saver is the optional snapshot capability a Backend may offer; drain
 // calls it for tenants with a SnapshotPath. *vkg.VKG satisfies it with the
-// atomic temp-file-and-rename save path.
+// atomic temp-file-and-rename save path; when the backend has a write-ahead
+// log armed on that path, the same call also flushes and rotates the log, so
+// a drained tenant always leaves a mutually consistent snapshot+WAL pair.
 type Saver interface {
 	SaveFile(path string) error
 }

@@ -101,6 +101,14 @@ type Metrics struct {
 	// Index is the current index structure (also available via IndexStats).
 	Index IndexStats
 
+	// WAL is the write-ahead log state: appends and rotations on the write
+	// side, replay and truncation counters from the most recent load.
+	WAL WALStats
+
+	// DroppedAttributes lists attributes the snapshot named but the loaded
+	// graph lacked; the load dropped them (degraded) instead of failing.
+	DroppedAttributes []string
+
 	// Generation is the graph mutation counter; cached answers are pinned
 	// to the generation they were computed at.
 	Generation uint64
@@ -177,8 +185,10 @@ func (v *VKG) Metrics() Metrics {
 			ResidentPoints:  s.ResidentPoints,
 			GCPauseP99:      time.Duration(s.GCPauseP99 * float64(time.Second)),
 		},
-		Index:      v.IndexStats(),
-		Generation: s.Generation,
+		Index:             v.IndexStats(),
+		WAL:               walStats(s.WAL),
+		DroppedAttributes: s.DroppedAttrs,
+		Generation:        s.Generation,
 	}
 }
 

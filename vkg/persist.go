@@ -5,7 +5,6 @@ import (
 	"io"
 	"os"
 
-	"vkgraph/internal/atomicfile"
 	"vkgraph/internal/core"
 	"vkgraph/internal/snapfmt"
 )
@@ -41,12 +40,14 @@ func (v *VKG) Save(w io.Writer) error {
 // SaveFile writes the virtual knowledge graph to path atomically: the
 // snapshot is written to a temporary file in the same directory, synced,
 // and renamed over path. A crash or error mid-save leaves any previous
-// snapshot at path untouched.
+// snapshot at path untouched. When a WAL is armed (EnableWAL/LoadFileWAL)
+// and path is its snapshot path, the save also rotates the log atomically
+// with the snapshot, so the pair is always mutually consistent.
 func (v *VKG) SaveFile(path string) error {
 	if v.noIdx {
 		return fmt.Errorf("vkg: ModeNoIndex has no index to save")
 	}
-	return atomicfile.WriteFile(path, v.Save)
+	return v.eng.SaveFile(path)
 }
 
 // Load reads a virtual knowledge graph written by Save, restoring the index
@@ -63,6 +64,13 @@ func Load(r io.Reader) (*VKG, error) {
 	if err != nil {
 		return nil, err
 	}
+	return wrapLoadedEngine(eng), nil
+}
+
+// wrapLoadedEngine wraps a loaded core engine as a VKG, restoring the
+// public index mode from the engine's persisted parameters (shared by Load
+// and LoadFileWAL).
+func wrapLoadedEngine(eng *core.Engine) *VKG {
 	mode := ModeCrack
 	switch {
 	case eng.Mode() == core.Bulk:
@@ -74,7 +82,7 @@ func Load(r io.Reader) (*VKG, error) {
 		graph: WrapGraph(eng.Graph()),
 		eng:   eng,
 		mode:  mode,
-	}, nil
+	}
 }
 
 // LoadFile reads a virtual knowledge graph from path. See Load for the

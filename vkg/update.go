@@ -38,3 +38,11 @@ func (v *VKG) InsertEntity(name, typ string, facts []Fact, attrs map[string]floa
 	}
 	return v.eng.InsertEntity(name, typ, cf, attrs)
 }
+
+// SetEntityAttr sets attribute attr of entity id on the live graph,
+// creating the attribute column if the graph has never seen the name. A
+// new attribute is immediately aggregatable — no rebuild or restart — and
+// with a WAL armed the write survives restarts like any other mutation.
+func (v *VKG) SetEntityAttr(attr string, id EntityID, value float64) error {
+	return v.eng.SetAttr(attr, id, value)
+}

@@ -1,0 +1,130 @@
+package vkg
+
+import (
+	"fmt"
+	"time"
+
+	"vkgraph/internal/core"
+)
+
+// The write-ahead log makes restarts instantly warm: between snapshots,
+// every structural mutation — the crack splits queries pay for, plus
+// AddFact/InsertEntity/SetEntityAttr — is appended to a checksummed sidecar
+// log, and LoadFileWAL replays the suffix newer than the snapshot instead
+// of rebuilding a cold index. A torn or corrupt log suffix never fails the
+// load: the clean prefix is applied and the damage is truncated, visible in
+// WALStats and on /metrics.
+
+// WALSync selects the log's fsync policy; see the README's durability
+// table for the tradeoff.
+type WALSync int
+
+const (
+	// WALSyncInterval (default) fsyncs on a background ticker: bounded
+	// loss on power failure, negligible append cost. Records are written
+	// unbuffered, so a process crash (as opposed to power loss) loses
+	// nothing regardless of fsync timing.
+	WALSyncInterval WALSync = iota
+	// WALSyncAlways fsyncs inside every mutation: zero loss on power
+	// failure at one disk barrier per mutation.
+	WALSyncAlways
+	// WALSyncOff never fsyncs; the OS flushes on its own schedule.
+	WALSyncOff
+)
+
+// WALConfig configures the write-ahead log.
+type WALConfig struct {
+	// Path of the log file; empty derives "<snapshot path>.wal".
+	Path string
+	// Sync is the fsync policy (default WALSyncInterval).
+	Sync WALSync
+	// SyncInterval is the ticker period under WALSyncInterval
+	// (default 100ms).
+	SyncInterval time.Duration
+}
+
+func (c WALConfig) core() core.WALOptions {
+	return core.WALOptions{Path: c.Path, Sync: core.WALSync(c.Sync), SyncInterval: c.SyncInterval}
+}
+
+// WALStats is a point-in-time view of the write-ahead log, included in
+// Metrics and available directly via VKG.WALStats.
+type WALStats struct {
+	// Enabled reports whether a WAL is configured.
+	Enabled bool
+	// Path of the log file.
+	Path string
+	// Generation of the snapshot the log extends; each WAL-armed SaveFile
+	// bumps it and resets the log.
+	Generation uint64
+
+	AppendedRecords uint64
+	AppendedBytes   uint64
+	// AppendErrors counts mutations whose record was lost to an append
+	// failure; one failure disarms logging until the next snapshot so the
+	// log never has a gap.
+	AppendErrors uint64
+	Rotations    uint64
+
+	// Replay counters from the most recent LoadFileWAL: how many records
+	// warmed the index, how long that took, and how many torn/corrupt
+	// suffix bytes were truncated (ReplayTruncations counts loads that had
+	// to truncate; ReplayStale counts logs discarded whole for a
+	// generation mismatch).
+	ReplayedRecords    uint64
+	ReplayDuration     time.Duration
+	ReplayDroppedBytes uint64
+	ReplayTruncations  uint64
+	ReplayStale        uint64
+}
+
+func walStats(s core.WALStats) WALStats {
+	return WALStats{
+		Enabled:            s.Enabled,
+		Path:               s.Path,
+		Generation:         s.Generation,
+		AppendedRecords:    s.AppendedRecords,
+		AppendedBytes:      s.AppendedBytes,
+		AppendErrors:       s.AppendErrors,
+		Rotations:          s.Rotations,
+		ReplayedRecords:    s.ReplayedRecords,
+		ReplayDuration:     s.ReplayDuration,
+		ReplayDroppedBytes: s.ReplayDroppedBytes,
+		ReplayTruncations:  s.ReplayTruncations,
+		ReplayStale:        s.ReplayStale,
+	}
+}
+
+// LoadFileWAL loads a snapshot with its write-ahead log: records newer
+// than the snapshot are replayed — restoring the crack structure and
+// graph mutations the last process accrued after its final save — and the
+// log stays armed, so further mutations keep appending. A snapshot written
+// without a WAL is re-anchored in place (rewritten at generation 1 with a
+// fresh log beside it). See Load for the snapshot error contract; log
+// damage never fails the load.
+func LoadFileWAL(path string, cfg WALConfig) (*VKG, error) {
+	eng, err := core.LoadEngineFileWAL(path, cfg.core())
+	if err != nil {
+		return nil, err
+	}
+	return wrapLoadedEngine(eng), nil
+}
+
+// EnableWAL arms the write-ahead log on a live VKG: a fresh snapshot is
+// written to snapshotPath (the anchor replays start from) and every later
+// mutation is logged. Subsequent SaveFile(snapshotPath) calls rotate the
+// log atomically with the snapshot.
+func (v *VKG) EnableWAL(snapshotPath string, cfg WALConfig) error {
+	if v.noIdx {
+		return fmt.Errorf("vkg: ModeNoIndex has no index to log")
+	}
+	return v.eng.EnableWAL(snapshotPath, cfg.core())
+}
+
+// WALStats returns the current write-ahead log counters.
+func (v *VKG) WALStats() WALStats { return walStats(v.eng.WALStats()) }
+
+// CloseWAL syncs and closes the log; the VKG keeps serving, but mutations
+// are no longer logged. Call it before process exit when not going through
+// a draining server (serve.Drain snapshots, which rotates the log).
+func (v *VKG) CloseWAL() error { return v.eng.CloseWAL() }

@@ -1,0 +1,130 @@
+package vkg
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// End-to-end WAL lifecycle through the public API: arm, mutate, "crash"
+// (no final save), load with replay, and observe it all in Metrics.
+func TestWALEndToEnd(t *testing.T) {
+	g, ratesHigh, _ := buildTestGraph(t)
+	v, err := Build(g, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "wal.vkg")
+	if err := v.EnableWAL(snap, WALConfig{Sync: WALSyncOff}); err != nil {
+		t.Fatalf("EnableWAL: %v", err)
+	}
+
+	amy, _ := g.EntityByName("user0")
+	for i := 0; i < 8; i++ {
+		if _, err := v.TopKTails(amy, ratesHigh, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := v.TopKTails(amy, ratesHigh, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddFact(amy, ratesHigh, res.Predictions[0].Entity); err != nil {
+		t.Fatal(err)
+	}
+	// A dynamic attribute written through the public API must survive the
+	// crash like everything else.
+	if err := v.SetEntityAttr("stars", res.Predictions[1].Entity, 4.5); err != nil {
+		t.Fatalf("SetEntityAttr: %v", err)
+	}
+	liveAgg, err := v.AggregateTails(amy, ratesHigh, AggSpec{Kind: Max, Attr: "stars"})
+	if err != nil {
+		t.Fatalf("aggregate over dynamic attr: %v", err)
+	}
+	want, err := v.TopKTails(amy, ratesHigh, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := v.WALStats()
+	if !stats.Enabled || stats.AppendedRecords == 0 {
+		t.Fatalf("WAL not recording: %+v", stats)
+	}
+	m := v.Metrics()
+	if m.WAL.AppendedRecords != stats.AppendedRecords {
+		t.Fatalf("Metrics WAL view diverged: %d vs %d", m.WAL.AppendedRecords, stats.AppendedRecords)
+	}
+	liveNodes := v.IndexStats().TotalNodes
+	if err := v.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadFileWAL(snap, WALConfig{Sync: WALSyncOff})
+	if err != nil {
+		t.Fatalf("LoadFileWAL: %v", err)
+	}
+	defer loaded.CloseWAL()
+	rs := loaded.WALStats()
+	if rs.ReplayedRecords != stats.AppendedRecords {
+		t.Fatalf("replayed %d records, want %d", rs.ReplayedRecords, stats.AppendedRecords)
+	}
+	if got := loaded.IndexStats().TotalNodes; got != liveNodes {
+		t.Fatalf("replayed index has %d nodes, live had %d", got, liveNodes)
+	}
+	got, err := loaded.TopKTails(amy, ratesHigh, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Predictions {
+		if got.Predictions[i].Entity != want.Predictions[i].Entity {
+			t.Fatalf("answers diverged after replay: %v vs %v", got.Predictions, want.Predictions)
+		}
+	}
+	agg, err := loaded.AggregateTails(amy, ratesHigh, AggSpec{Kind: Max, Attr: "stars"})
+	if err != nil {
+		t.Fatalf("dynamic attr lost across restart: %v", err)
+	}
+	if agg.Value != liveAgg.Value {
+		t.Fatalf("aggregate diverged: %v vs %v", agg.Value, liveAgg.Value)
+	}
+}
+
+// SaveFile on a WAL-armed VKG rotates the log; the snapshot alone carries
+// everything up to the save.
+func TestWALSaveFileRotates(t *testing.T) {
+	g, ratesHigh, _ := buildTestGraph(t)
+	v, err := Build(g, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "wal.vkg")
+	if err := v.EnableWAL(snap, WALConfig{Sync: WALSyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	amy, _ := g.EntityByName("user0")
+	for i := 0; i < 6; i++ {
+		if _, err := v.TopKTails(amy, ratesHigh, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := v.WALStats().Generation
+	if err := v.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	after := v.WALStats()
+	if after.Generation != gen+1 {
+		t.Fatalf("generation %d after SaveFile, want %d", after.Generation, gen+1)
+	}
+	if err := v.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFileWAL(snap, WALConfig{Sync: WALSyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.CloseWAL()
+	if rs := loaded.WALStats(); rs.ReplayedRecords != 0 {
+		t.Fatalf("rotated log replayed %d records, want 0", rs.ReplayedRecords)
+	}
+	if _, err := loaded.TopKTails(amy, ratesHigh, 5); err != nil {
+		t.Fatal(err)
+	}
+}
