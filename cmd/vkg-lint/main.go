@@ -21,18 +21,26 @@ import (
 	"os"
 
 	"vkgraph/internal/analysis"
+	"vkgraph/internal/analysis/arenaescape"
+	"vkgraph/internal/analysis/atomicmix"
 	"vkgraph/internal/analysis/checker"
 	"vkgraph/internal/analysis/ctxpropagate"
+	"vkgraph/internal/analysis/lockgraph"
 	"vkgraph/internal/analysis/lockorder"
 	"vkgraph/internal/analysis/lostcancel"
 	"vkgraph/internal/analysis/obssafety"
 	"vkgraph/internal/analysis/sealedps"
 	"vkgraph/internal/analysis/sentinelerr"
+	"vkgraph/internal/analysis/walappend"
 )
 
 func main() {
 	suite := []*analysis.Analyzer{
 		lockorder.Analyzer,
+		lockgraph.Analyzer,
+		walappend.Analyzer,
+		atomicmix.Analyzer,
+		arenaescape.Analyzer,
 		sentinelerr.Analyzer,
 		obssafety.Analyzer,
 		ctxpropagate.Analyzer,

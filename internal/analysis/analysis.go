@@ -10,13 +10,17 @@
 // with the standard library alone, which is the same zero-dependency
 // stance the rest of the engine takes (see internal/obs).
 //
-// What is intentionally missing relative to x/tools: cross-package facts,
-// the Requires/ResultOf analyzer graph, and suggested fixes. None of the
-// vkg invariants need them — every check is expressible over a single
-// type-checked package.
+// What is intentionally missing relative to x/tools: the Requires/ResultOf
+// analyzer graph and suggested fixes. Cross-package facts — typed values
+// attached to objects or packages, propagated in dependency order and
+// serialized with gob — ARE implemented (see Fact, FactStore): the
+// whole-program invariants (the program-wide lock graph, the WAL append
+// discipline, atomic/plain access mixing) span core, rtree, and serve, so
+// a one-package-at-a-time view cannot see them.
 package analysis
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -33,6 +37,20 @@ type Analyzer struct {
 	// through the Pass. The error return is for operational failures
 	// (analyzer bugs, not findings); findings are diagnostics.
 	Run func(*Pass) error
+	// FactTypes lists prototypes of every Fact type this analyzer exports
+	// or imports (pointers to zero values). An analyzer with FactTypes is
+	// fact-aware: the checker runs it over dependencies before dependents
+	// and serializes its facts with gob, so each prototype's concrete type
+	// must be gob-encodable.
+	FactTypes []Fact
+	// Finish, if set, runs once after every package has been analyzed,
+	// with the union of all exported facts — the whole-program step for
+	// analyzers (like the lock-graph cycle detector) whose verdict needs
+	// every package's contribution at once.
+	Finish func(*FinalPass) error
+	// Flags, if set, registers analyzer-specific command-line flags
+	// (e.g. lockgraph's -lockgraph-dump) on the driver's flag set.
+	Flags func(*flag.FlagSet)
 }
 
 // Pass is one (analyzer, package) unit of work.
@@ -44,11 +62,58 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+
+	// ExportObjectFact attaches a fact to obj, which must belong to the
+	// package under analysis. Facts on exported (or field/method) objects
+	// are visible to dependent packages via ImportObjectFact.
+	ExportObjectFact func(obj types.Object, f Fact)
+	// ImportObjectFact copies the fact of f's concrete type attached to
+	// obj (by this or an earlier package's analysis) into f, reporting
+	// whether one existed.
+	ImportObjectFact func(obj types.Object, f Fact) bool
+	// ExportPackageFact attaches a fact to the package under analysis.
+	ExportPackageFact func(f Fact)
+	// ImportPackageFact copies pkg's fact of f's concrete type into f.
+	ImportPackageFact func(pkg *types.Package, f Fact) bool
 }
 
-// Diagnostic is one finding at a position.
+// Fact is a typed value an analyzer attaches to an object or package,
+// visible to the analysis of every dependent package. Concrete fact types
+// must be pointers to gob-encodable structs; AFact is a marker.
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an object with one fact attached to it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact pairs a package with one fact attached to it.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
+// FinalPass is the whole-program step handed to Analyzer.Finish after all
+// packages were analyzed.
+type FinalPass struct {
+	Analyzer *Analyzer
+	// ObjectFacts and PackageFacts are every fact this analyzer exported,
+	// across all packages, in analysis (dependency) order.
+	ObjectFacts  []ObjectFact
+	PackageFacts []PackageFact
+	// Reportf reports a whole-program diagnostic at an already-resolved
+	// position (facts carry "file:line" strings across packages, not
+	// token.Pos values, which are meaningless outside their FileSet).
+	Reportf func(posn token.Position, format string, args ...interface{})
+}
+
+// Diagnostic is one finding at a position. Pos is the usual in-package
+// form; whole-program diagnostics (from Finish) carry a pre-resolved Posn
+// instead, with Pos == token.NoPos.
 type Diagnostic struct {
 	Pos     token.Pos
+	Posn    token.Position
 	Message string
 }
 

@@ -11,6 +11,15 @@
 // Every .go file line may end with `// want "re"` (repeatable:
 // `// want "a" "b"`); the analyzer must report a diagnostic on that line
 // matching each regexp, and must report nothing anywhere else.
+//
+// Fact-aware analyzers are supported: the analyzer runs over every
+// sibling package a target (transitively) imports before the target
+// itself, with a shared in-memory fact store, so Export/ImportObjectFact
+// and package facts work exactly as under the real checker. Diagnostics
+// on non-target siblings are discarded — only the named packages carry
+// `// want` expectations. If the analyzer has a Finish hook it runs once
+// after all packages, and its position-carrying diagnostics participate
+// in want-matching too.
 package analysistest
 
 import (
@@ -30,6 +39,15 @@ import (
 	"vkgraph/internal/analysis/loader"
 )
 
+// checkedPkg retains everything a Pass needs, for siblings as well as
+// targets — fact propagation requires running the analyzer over the
+// siblings too, not just type-checking them.
+type checkedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
 // Run analyzes each named package under dir/src (dir is usually
 // "testdata") and reports mismatches through t. It returns the raw
 // diagnostics for optional extra assertions.
@@ -41,74 +59,118 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgnames ...string) []a
 	if err != nil {
 		t.Fatalf("analysistest: resolving stdlib export data: %v", err)
 	}
-	source := make(map[string]*types.Package)
-	var all []analysis.Diagnostic
+	checked := make(map[string]*checkedPkg)
+	imp := &siblingImporter{fset: fset, src: src, checked: checked, std: exp}
+	facts := analysis.NewFactStore()
+
+	target := make(map[string]bool, len(pkgnames))
 	for _, name := range pkgnames {
-		pkgDir := filepath.Join(src, name)
-		files, err := goFiles(pkgDir)
+		target[name] = true
+	}
+
+	var diags []analysis.Diagnostic
+	analyzed := make(map[string]bool)
+	var analyze func(path string) // depth-first over sibling imports
+	analyze = func(path string) {
+		if analyzed[path] {
+			return
+		}
+		analyzed[path] = true
+		cp, err := imp.check(path)
 		if err != nil {
 			t.Fatalf("analysistest: %v", err)
 		}
-		// Sibling fake packages are loaded on demand: checkPkg recurses
-		// into imports that resolve to directories under src.
-		tfiles, tpkg, info, err := checkPkg(fset, src, name, files, source, exp)
-		if err != nil {
-			t.Fatalf("analysistest: %v", err)
+		for _, dep := range cp.pkg.Imports() {
+			if _, ok := checked[dep.Path()]; ok {
+				analyze(dep.Path())
+			}
 		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
-			Files:     tfiles,
-			Pkg:       tpkg,
-			TypesInfo: info,
+			Files:     cp.files,
+			Pkg:       cp.pkg,
+			TypesInfo: cp.info,
 		}
-		var diags []analysis.Diagnostic
-		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		facts.BindPass(pass)
+		keep := target[path]
+		pass.Report = func(d analysis.Diagnostic) {
+			if keep {
+				diags = append(diags, d)
+			}
+		}
 		if err := a.Run(pass); err != nil {
-			t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
+			t.Fatalf("analysistest: analyzer %s on %s: %v", a.Name, path, err)
 		}
-		checkWants(t, fset, tfiles, diags)
-		all = append(all, diags...)
 	}
-	return all
+	for _, name := range pkgnames {
+		analyze(name)
+	}
+
+	if a.Finish != nil {
+		objs, pkgFacts := facts.FactsFor(a)
+		fp := &analysis.FinalPass{
+			Analyzer:     a,
+			ObjectFacts:  objs,
+			PackageFacts: pkgFacts,
+			Reportf: func(posn token.Position, format string, args ...interface{}) {
+				diags = append(diags, analysis.Diagnostic{Posn: posn, Message: fmt.Sprintf(format, args...)})
+			},
+		}
+		if err := a.Finish(fp); err != nil {
+			t.Fatalf("analysistest: analyzer %s Finish: %v", a.Name, err)
+		}
+	}
+
+	var targetFiles []*ast.File
+	for _, name := range pkgnames {
+		targetFiles = append(targetFiles, checked[name].files...)
+	}
+	checkWants(t, fset, targetFiles, diags)
+	return diags
 }
 
 // siblingImporter loads fake packages under the testdata src root by
 // import path, falling back to stdlib export data.
 type siblingImporter struct {
-	fset   *token.FileSet
-	src    string
-	source map[string]*types.Package
-	std    types.Importer
+	fset    *token.FileSet
+	src     string
+	checked map[string]*checkedPkg
+	std     types.Importer
 }
 
 func (si *siblingImporter) Import(path string) (*types.Package, error) {
-	if p, ok := si.source[path]; ok {
-		return p, nil
+	if cp, ok := si.checked[path]; ok {
+		return cp.pkg, nil
 	}
 	pkgDir := filepath.Join(si.src, filepath.FromSlash(path))
 	if st, err := os.Stat(pkgDir); err == nil && st.IsDir() {
-		files, err := goFiles(pkgDir)
+		cp, err := si.check(path)
 		if err != nil {
 			return nil, err
 		}
-		_, tpkg, _, err := checkPkg(si.fset, si.src, path, files, si.source, si.std)
-		if err != nil {
-			return nil, err
-		}
-		return tpkg, nil
+		return cp.pkg, nil
 	}
 	return si.std.Import(path)
 }
 
-func checkPkg(fset *token.FileSet, src, path string, files []string, source map[string]*types.Package, std types.Importer) ([]*ast.File, *types.Package, *types.Info, error) {
-	imp := &siblingImporter{fset: fset, src: src, source: source, std: std}
-	tfiles, tpkg, info, err := loader.CheckSource(fset, path, files, imp)
-	if err != nil {
-		return nil, nil, nil, err
+// check type-checks the fake package at path (recursing into its sibling
+// imports through Import) and caches the result.
+func (si *siblingImporter) check(path string) (*checkedPkg, error) {
+	if cp, ok := si.checked[path]; ok {
+		return cp, nil
 	}
-	source[path] = tpkg
-	return tfiles, tpkg, info, nil
+	files, err := goFiles(filepath.Join(si.src, filepath.FromSlash(path)))
+	if err != nil {
+		return nil, err
+	}
+	tfiles, tpkg, info, err := loader.CheckSource(si.fset, path, files, si)
+	if err != nil {
+		return nil, err
+	}
+	cp := &checkedPkg{files: tfiles, pkg: tpkg, info: info}
+	si.checked[path] = cp
+	return cp, nil
 }
 
 func goFiles(dir string) ([]string, error) {
@@ -237,9 +299,13 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []an
 			}
 		}
 	}
-	// Match each diagnostic against an expectation on its line.
+	// Match each diagnostic against an expectation on its line. Finish
+	// diagnostics carry a pre-resolved Posn instead of a Pos.
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
+		pos := d.Posn
+		if d.Pos.IsValid() {
+			pos = fset.Position(d.Pos)
+		}
 		k := key{pos.Filename, pos.Line}
 		matched := -1
 		for i, re := range wants[k] {

@@ -1,0 +1,82 @@
+// Package arena exercises arenaescape's four sinks on its own record
+// type. Node is exported so the sibling package can test the fact path;
+// in-tree the real record type (rtree.node) is unexported.
+package arena
+
+type Node struct {
+	Next *Node
+	N    int
+}
+
+type slab struct {
+	slabs [][]Node
+	free  []*Node
+}
+
+func (s *slab) alloc() *Node {
+	if len(s.free) > 0 {
+		nd := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		return nd
+	}
+	s.slabs = append(s.slabs, make([]Node, 16))
+	return &s.slabs[len(s.slabs)-1][0]
+}
+
+func (s *slab) release(nd *Node) {
+	s.free = append(s.free, nd)
+}
+
+// Tree holds node pointers inside a named struct: the arena's own
+// machinery, never flagged.
+type Tree struct {
+	ar   slab
+	root *Node
+}
+
+// NewTree returns the tree, not a node — fine.
+func NewTree() *Tree { return &Tree{} }
+
+var lastNode *Node
+
+// bad: stores a node in a package-level variable.
+func (t *Tree) remember() {
+	lastNode = t.root // want `arena record pointer stored in package-level lastNode`
+}
+
+// bad: sends a node on a channel.
+func (t *Tree) publish(ch chan *Node) {
+	ch <- t.root // want `arena record pointer sent on a channel`
+}
+
+// bad: a goroutine capturing a node runs after the locks are released.
+func (t *Tree) inspect() {
+	nd := t.root
+	go func() {
+		_ = nd // want `goroutine captures arena record pointer nd`
+	}()
+}
+
+// ok: capturing the tree itself is fine — named structs are not
+// traversed, or the index would indict itself.
+func (t *Tree) stats() {
+	go func() {
+		_ = t
+	}()
+}
+
+// bad: an exported method returning the bare pointer.
+func (t *Tree) Root() *Node { // want `exported Root returns an arena record pointer`
+	return t.root
+}
+
+// ok: an unexported return stays inside the package, where the lifetime
+// rules are known.
+func (t *Tree) rootLocked() *Node { return t.root }
+
+var debugNode *Node
+
+// ok: the allow marker excuses a deliberate sink.
+func (t *Tree) debugRemember() {
+	debugNode = t.root // arenaescape:allow test hook, cleared before queries run
+}

@@ -1,0 +1,17 @@
+// Package arenauser obtains record pointers from arena; the imported
+// ArenaRecordFact holds it to the same sink rules.
+package arenauser
+
+import "arena"
+
+var stash *arena.Node
+
+// bad: the fact crosses the package boundary.
+func Keep(nd *arena.Node) {
+	stash = nd // want `arena record pointer stored in package-level stash`
+}
+
+// bad: exported re-export of a foreign record pointer.
+func Pick(t *arena.Tree) *arena.Node { // want `exported Pick returns an arena record pointer`
+	return t.Root()
+}

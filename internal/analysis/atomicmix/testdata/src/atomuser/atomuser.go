@@ -1,0 +1,11 @@
+// Package atomuser touches atomlib's counter field without any local
+// atomic access: the imported AtomicFieldFact is the only evidence that
+// plain reads here are races.
+package atomuser
+
+import "atomlib"
+
+// bad: plain read of a field the defining package accesses atomically.
+func Peek(c *atomlib.Counter) int64 {
+	return c.N // want `plain access to N, which is accessed with sync/atomic`
+}

@@ -1,0 +1,177 @@
+package checker_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"vkgraph/internal/analysis"
+)
+
+// testFact is a minimal gob-encodable fact for the round-trip test.
+type testFact struct{ Msg string }
+
+func (*testFact) AFact() {}
+
+func init() { gob.Register(&testFact{}) }
+
+const roundTripSrc = `package p
+
+type T struct {
+	Mu int
+	n  int
+}
+
+func (t *T) Crack() {}
+
+func Run() {}
+`
+
+// checkSrc type-checks roundTripSrc into a fresh *types.Package; calling
+// it twice simulates the two views a fact file bridges — the source view
+// that exported the facts and the (independently loaded) view they are
+// decoded against.
+func checkSrc(t *testing.T) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", roundTripSrc, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var conf types.Config
+	pkg, err := conf.Check("example/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return pkg
+}
+
+// TestFactGobRoundTrip exports facts on a function, a method, a field,
+// and the package itself, encodes them to the wire form the build cache
+// and .vetx files carry, and decodes them against an independent
+// type-check of the same package.
+func TestFactGobRoundTrip(t *testing.T) {
+	src := checkSrc(t)
+	store := analysis.NewFactStore()
+	pass := &analysis.Pass{Pkg: src}
+	store.BindPass(pass)
+
+	named := src.Scope().Lookup("T").(*types.TypeName).Type().(*types.Named)
+	var crack *types.Func
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == "Crack" {
+			crack = m
+		}
+	}
+	st := named.Underlying().(*types.Struct)
+	mu := st.Field(0)
+
+	pass.ExportObjectFact(src.Scope().Lookup("Run"), &testFact{Msg: "func"})
+	pass.ExportObjectFact(crack, &testFact{Msg: "method"})
+	pass.ExportObjectFact(mu, &testFact{Msg: "field"})
+	pass.ExportPackageFact(&testFact{Msg: "package"})
+
+	data, err := store.EncodePackage(src)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	again, err := store.EncodePackage(src)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("encoding is not deterministic: %d vs %d bytes", len(data), len(again))
+	}
+
+	// Decode against a second, independent view of the same package.
+	dst := checkSrc(t)
+	store2 := analysis.NewFactStore()
+	if err := store2.DecodePackage(data, dst); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	pass2 := &analysis.Pass{Pkg: dst}
+	store2.BindPass(pass2)
+
+	named2 := dst.Scope().Lookup("T").(*types.TypeName).Type().(*types.Named)
+	var crack2 *types.Func
+	for i := 0; i < named2.NumMethods(); i++ {
+		if m := named2.Method(i); m.Name() == "Crack" {
+			crack2 = m
+		}
+	}
+	mu2 := named2.Underlying().(*types.Struct).Field(0)
+
+	cases := []struct {
+		name string
+		obj  types.Object
+		want string
+	}{
+		{"package-level func", dst.Scope().Lookup("Run"), "func"},
+		{"method", crack2, "method"},
+		{"field", mu2, "field"},
+	}
+	for _, tc := range cases {
+		var f testFact
+		if !pass2.ImportObjectFact(tc.obj, &f) {
+			t.Errorf("%s: fact did not survive the round trip", tc.name)
+			continue
+		}
+		if f.Msg != tc.want {
+			t.Errorf("%s: fact Msg = %q, want %q", tc.name, f.Msg, tc.want)
+		}
+	}
+	var pf testFact
+	if !pass2.ImportPackageFact(dst, &pf) {
+		t.Fatalf("package fact did not survive the round trip")
+	}
+	if pf.Msg != "package" {
+		t.Fatalf("package fact Msg = %q, want %q", pf.Msg, "package")
+	}
+
+	// An object with no fact must report absence, not garbage.
+	var none testFact
+	if pass2.ImportObjectFact(named2.Obj(), &none) {
+		t.Fatalf("unexpected fact on type name T")
+	}
+}
+
+// TestObjectKeyStability pins the wire key forms: cache entries and vetx
+// files outlive checker builds, so a key change is a format break.
+func TestObjectKeyStability(t *testing.T) {
+	pkg := checkSrc(t)
+	named := pkg.Scope().Lookup("T").(*types.TypeName).Type().(*types.Named)
+	st := named.Underlying().(*types.Struct)
+	var crack *types.Func
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == "Crack" {
+			crack = m
+		}
+	}
+	cases := []struct {
+		obj  types.Object
+		want string
+	}{
+		{pkg.Scope().Lookup("Run"), "O:Run"},
+		{pkg.Scope().Lookup("T"), "O:T"},
+		{crack, "M:T.Crack"},
+		{st.Field(0), "F:T.Mu"},
+		{st.Field(1), "F:T.n"},
+	}
+	for _, tc := range cases {
+		key, ok := analysis.ObjectKey(tc.obj)
+		if !ok {
+			t.Errorf("ObjectKey(%v): no key, want %q", tc.obj, tc.want)
+			continue
+		}
+		if key != tc.want {
+			t.Errorf("ObjectKey(%v) = %q, want %q", tc.obj, key, tc.want)
+		}
+		if got := analysis.ResolveObjectKey(pkg, key); got != tc.obj {
+			t.Errorf("ResolveObjectKey(%q) = %v, want %v", key, got, tc.obj)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Package is one parsed, type-checked package ready for analysis.
@@ -149,11 +150,22 @@ func CheckSource(fset *token.FileSet, pkgPath string, filenames []string, imp ty
 	return files, tpkg, info, nil
 }
 
-// Load lists, parses, and type-checks the packages matching the patterns
-// (relative to dir, "" meaning the current directory). Test files are not
-// included — GoFiles is the non-test compilation unit, which is also what
-// `go vet`'s per-package config delivers for the main variant.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// Program is a listed-but-not-yet-checked set of packages sharing one
+// FileSet, one export-data importer, and one source-package map. The
+// checker walks Listed in dependency order, deciding per package whether
+// to type-check it from source (CheckListed) or settle for its export
+// data view (ImportExport) — the latter is how a fact-cache hit skips the
+// parse entirely.
+type Program struct {
+	Fset   *token.FileSet
+	Listed []*ListedPackage
+	exp    types.Importer
+	source map[string]*types.Package
+}
+
+// ListProgram lists the patterns (and all their dependencies, export data
+// compiled as a side effect) without type-checking anything yet.
+func ListProgram(dir string, patterns ...string) (*Program, error) {
 	listed, err := GoList(dir, patterns...)
 	if err != nil {
 		return nil, err
@@ -165,40 +177,97 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			exports[lp.ImportPath] = lp.Export
 		}
 	}
-	exp := NewExportImporter(fset, exports)
-	source := make(map[string]*types.Package)
-	var out []*Package
+	return &Program{
+		Fset:   fset,
+		Listed: listed,
+		exp:    NewExportImporter(fset, exports),
+		source: make(map[string]*types.Package),
+	}, nil
+}
 
+// CheckListed parses and type-checks one listed package from source and
+// registers it so later packages in dependency order import this
+// source-checked view (with its full object identity) rather than export
+// data.
+func (pr *Program) CheckListed(lp *ListedPackage) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("loader: %s uses cgo, which the source checker does not support", lp.ImportPath)
+	}
+	filenames := make([]string, len(lp.GoFiles))
+	for i, f := range lp.GoFiles {
+		filenames[i] = filepath.Join(lp.Dir, f)
+	}
+	sort.Strings(filenames)
+	imp := &Importer{ImportMap: lp.ImportMap, Source: pr.source, Export: pr.exp}
+	files, tpkg, info, err := CheckSource(pr.Fset, lp.ImportPath, filenames, imp)
+	if err != nil {
+		return nil, err
+	}
+	pr.source[lp.ImportPath] = tpkg
+	return &Package{
+		PkgPath: lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		GoFiles: filenames,
+		Fset:    pr.Fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// ImportExport returns the types.Package for path — the source-checked one
+// if this run checked it, otherwise the export-data view. Cached facts are
+// decoded against this package.
+func (pr *Program) ImportExport(path string) (*types.Package, error) {
+	if p, ok := pr.source[path]; ok {
+		return p, nil
+	}
+	return pr.exp.Import(path)
+}
+
+// Load lists, parses, and type-checks the packages matching the patterns
+// (relative to dir, "" meaning the current directory). Test files are not
+// included — GoFiles is the non-test compilation unit, which is also what
+// `go vet`'s per-package config delivers for the main variant.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pr, err := ListProgram(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
 	// The -deps order lists dependencies before dependents, so by the time
-	// a target imports a sibling target, the sibling is in `source`.
-	for _, lp := range listed {
+	// a target imports a sibling target, the sibling is source-checked.
+	for _, lp := range pr.Listed {
 		if lp.DepOnly || lp.Standard {
 			continue
 		}
-		if len(lp.CgoFiles) > 0 {
-			return nil, fmt.Errorf("loader: %s uses cgo, which the source checker does not support", lp.ImportPath)
-		}
-		filenames := make([]string, len(lp.GoFiles))
-		for i, f := range lp.GoFiles {
-			filenames[i] = filepath.Join(lp.Dir, f)
-		}
-		sort.Strings(filenames)
-		imp := &Importer{ImportMap: lp.ImportMap, Source: source, Export: exp}
-		files, tpkg, info, err := CheckSource(fset, lp.ImportPath, filenames, imp)
+		pkg, err := pr.CheckListed(lp)
 		if err != nil {
 			return nil, err
 		}
-		source[lp.ImportPath] = tpkg
-		out = append(out, &Package{
-			PkgPath: lp.ImportPath,
-			Name:    lp.Name,
-			Dir:     lp.Dir,
-			GoFiles: filenames,
-			Fset:    fset,
-			Files:   files,
-			Types:   tpkg,
-			Info:    info,
-		})
+		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// FactCacheDir returns the directory where the checker caches serialized
+// fact files, created on demand. It lives inside GOCACHE so any CI cache
+// configuration that already captures the Go build cache captures the
+// fact files with it, and `go clean -cache` clears both together. The
+// second return is false when no usable cache directory exists.
+func FactCacheDir() (string, bool) {
+	out, err := exec.Command("go", "env", "GOCACHE").Output()
+	if err != nil {
+		return "", false
+	}
+	gocache := strings.TrimSpace(string(out))
+	if gocache == "" || gocache == "off" {
+		return "", false
+	}
+	dir := filepath.Join(gocache, "vkg-lint-facts")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return "", false
+	}
+	return dir, true
 }

@@ -1,0 +1,40 @@
+// Package cyclic is a two-class deadlock for the lockgraph golden test:
+// one function orders a before b, another orders b before a (through an
+// in-package callee's acquire set), and Finish must report the cycle with
+// the full witness path.
+package cyclic
+
+import "sync"
+
+type a struct {
+	mu sync.Mutex
+	n  int
+}
+
+type b struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockAB acquires a then b — fine on its own, fatal combined with lockBA.
+func lockAB(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want `potential deadlock: lock-order cycle cyclic\.a\.mu → cyclic\.b\.mu`
+	y.n++
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// lockBA closes the cycle: bumpA's acquire set makes the b→a edge
+// visible at the call site without reading bumpA's body twice.
+func lockBA(x *a, y *b) {
+	y.mu.Lock()
+	bumpA(x)
+	y.mu.Unlock()
+}
+
+func bumpA(x *a) {
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+}

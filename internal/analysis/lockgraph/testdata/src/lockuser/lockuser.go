@@ -1,0 +1,56 @@
+// Package lockuser exercises lockgraph's cross-package machinery: a lock
+// class resolved through locklib's exported mutex field, an acquire set
+// imported through AcquiresFact, and rank inversions judged against the
+// union of both packages' shape-derived ranks.
+package lockuser
+
+import (
+	"sync"
+
+	"locklib"
+)
+
+type shard struct {
+	mu   sync.RWMutex
+	data []int
+}
+
+type engine struct {
+	mu     sync.RWMutex
+	shards []*shard
+	store  *locklib.Store
+}
+
+// ok: the documented order — engine read lock, then a shard.
+func (e *engine) query() int {
+	e.mu.RLock()
+	sh := e.shards[0]
+	sh.mu.RLock()
+	n := len(sh.data)
+	sh.mu.RUnlock()
+	e.mu.RUnlock()
+	return n
+}
+
+// ok: nothing held around the foreign call.
+func (e *engine) count() int {
+	return e.store.Grab()
+}
+
+// bad: a foreign engine-ranked lock acquired (through Tick's imported
+// acquire set) while a shard lock is held.
+func (e *engine) tickUnderShard(le *locklib.LibEngine) {
+	sh := e.shards[0]
+	sh.mu.Lock()
+	le.Tick() // want `lock order inverted: locklib\.LibEngine\.mu \(engine\) acquired while lockuser\.shard\.mu \(shard\) is held in tickUnderShard`
+	sh.mu.Unlock()
+}
+
+// bad: the engine lock acquired while the leaf store — ranked by
+// locklib's own engine shape — is held directly.
+func (e *engine) storeThenEngine() {
+	e.store.Mu.Lock()
+	e.mu.RLock() // want `lock order inverted: lockuser\.engine\.mu \(engine\) acquired while locklib\.Store\.Mu \(leaf\) is held in storeThenEngine`
+	e.mu.RUnlock()
+	e.store.Mu.Unlock()
+}

@@ -36,6 +36,7 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
 	"strings"
 
 	"vkgraph/internal/analysis"
@@ -43,10 +44,23 @@ import (
 
 // Analyzer enforces the two-level engine/shard lock discipline.
 var Analyzer = &analysis.Analyzer{
-	Name: "lockorder",
-	Doc:  "enforce the engine→shards(ascending) lock order and non-blocking write-critical sections",
-	Run:  run,
+	Name:      "lockorder",
+	Doc:       "enforce the engine→shards(ascending) lock order and non-blocking write-critical sections",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(ShapesFact)},
 }
+
+// ShapesFact is a package fact naming the engine/shard struct types the
+// package defines, so dependent packages (and the lockgraph analyzer) can
+// classify locks on types they import rather than re-deriving the shape
+// from source they cannot see.
+type ShapesFact struct {
+	Engines []string
+	Shards  []string
+}
+
+// AFact marks ShapesFact as a fact type.
+func (*ShapesFact) AFact() {}
 
 // callerHoldsRe matches doc comments that state the engine-lock
 // precondition, e.g. "the caller must hold e.mu.RLock" or "(which the
@@ -79,13 +93,51 @@ type event struct {
 }
 
 func run(pass *analysis.Pass) error {
-	engines, shards := lockShapes(pass.Pkg)
+	engines, shards := Shapes(pass.Pkg)
+	// Rule 4's hot-path gate keys on the package's OWN shapes (plus the
+	// named query-path packages below): importing core must not make a
+	// consumer's unrelated mutexes hot-path. The imported shapes extend
+	// only the engine/shard classification for rules 1–3.
+	localShards := len(shards) > 0
+	// Extend the classification with shapes imported packages declared:
+	// a dependent package holding a *core.Engine participates in the same
+	// discipline even though the shape detection cannot see core's source.
+	if pass.ImportPackageFact != nil {
+		for _, imp := range pass.Pkg.Imports() {
+			var sf ShapesFact
+			if !pass.ImportPackageFact(imp, &sf) {
+				continue
+			}
+			for _, name := range sf.Engines {
+				if n := lookupNamed(imp, name); n != nil {
+					engines[n] = true
+				}
+			}
+			for _, name := range sf.Shards {
+				if n := lookupNamed(imp, name); n != nil {
+					shards[n] = true
+				}
+			}
+		}
+	}
+	if pass.ExportPackageFact != nil && (len(engines) > 0 || len(shards) > 0) {
+		sf := &ShapesFact{}
+		for n := range engines {
+			sf.Engines = append(sf.Engines, n.Obj().Name())
+		}
+		for n := range shards {
+			sf.Shards = append(sf.Shards, n.Obj().Name())
+		}
+		sort.Strings(sf.Engines)
+		sort.Strings(sf.Shards)
+		pass.ExportPackageFact(sf)
+	}
 	// Rule 4 is a hot-path rule: it applies in the packages DESIGN.md calls
 	// the query path (internal/core, internal/rtree) and anywhere the
 	// engine/shard shape itself lives. Elsewhere, holding a lock across I/O
 	// can be a deliberate serialization choice (e.g. the experiments
 	// dataset cache memoizes expensive builds under its mutex).
-	hotPath := len(shards) > 0 ||
+	hotPath := localShards ||
 		strings.Contains(pass.Pkg.Path(), "internal/core") ||
 		strings.Contains(pass.Pkg.Path(), "internal/rtree")
 	for _, file := range pass.Files {
@@ -100,10 +152,21 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// lockShapes finds the engine/shard struct pairs of the package: a shard
+// lookupNamed resolves a package-level type name to its *types.Named.
+func lookupNamed(pkg *types.Package, name string) *types.Named {
+	tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := tn.Type().(*types.Named)
+	return named
+}
+
+// Shapes finds the engine/shard struct pairs of the package: a shard
 // is a struct with a mutex field referenced as []S or []*S from a struct
-// that also has its own mutex field (the engine).
-func lockShapes(pkg *types.Package) (engines, shards map[*types.Named]bool) {
+// that also has its own mutex field (the engine). Exported for lockgraph,
+// which ranks lock classes by the same shape.
+func Shapes(pkg *types.Package) (engines, shards map[*types.Named]bool) {
 	engines = make(map[*types.Named]bool)
 	shards = make(map[*types.Named]bool)
 	scope := pkg.Scope()
@@ -151,6 +214,10 @@ func hasMutexField(st *types.Struct) bool {
 	}
 	return false
 }
+
+// IsMutexType reports whether t (or its pointee) is sync.Mutex or
+// sync.RWMutex. Shared with lockgraph.
+func IsMutexType(t types.Type) bool { return isMutexType(t) }
 
 func isMutexType(t types.Type) bool {
 	if p, ok := t.(*types.Pointer); ok {

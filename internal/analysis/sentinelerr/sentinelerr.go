@@ -32,10 +32,24 @@ import (
 
 // Analyzer enforces errors.Is/%w discipline around sentinel errors.
 var Analyzer = &analysis.Analyzer{
-	Name: "sentinelerr",
-	Doc:  "enforce errors.Is matching, %w wrapping, and non-shadowing of sentinel errors",
-	Run:  run,
+	Name:      "sentinelerr",
+	Doc:       "enforce errors.Is matching, %w wrapping, and non-shadowing of sentinel errors",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(SentinelFact)},
 }
+
+// SentinelFact records, on a sentinel error variable, the message its
+// errors.New initializer carries. Message strings do not travel in export
+// data, so before facts the cross-package shadow check (rule 4) leaned
+// entirely on the hand-maintained KnownSentinels table; with facts, any
+// imported package's sentinels are checked automatically and the table
+// remains only as a fallback for packages outside the analyzed set.
+type SentinelFact struct {
+	Message string
+}
+
+// AFact marks SentinelFact as a fact type.
+func (*SentinelFact) AFact() {}
 
 // KnownSentinels maps a sentinel's message text to the name callers
 // should wrap. This is the project-specific part of the analyzer: the
@@ -60,6 +74,29 @@ func run(pass *analysis.Pass) error {
 	for obj, msg := range local {
 		if msg != "" {
 			messages[msg] = obj.Name()
+			if pass.ExportObjectFact != nil {
+				pass.ExportObjectFact(obj, &SentinelFact{Message: msg})
+			}
+		}
+	}
+	// Sentinels of imported packages, via facts exported when those
+	// packages were analyzed (dependency order guarantees that happened
+	// first).
+	if pass.ImportObjectFact != nil {
+		for _, imp := range pass.Pkg.Imports() {
+			scope := imp.Scope()
+			for _, name := range scope.Names() {
+				obj := scope.Lookup(name)
+				if !isSentinelObject(obj) {
+					continue
+				}
+				var sf SentinelFact
+				if pass.ImportObjectFact(obj, &sf) && sf.Message != "" {
+					if _, dup := messages[sf.Message]; !dup {
+						messages[sf.Message] = imp.Name() + "." + obj.Name()
+					}
+				}
+			}
 		}
 	}
 

@@ -1,0 +1,72 @@
+// Package arenalib is the rtree stand-in for the walappend corpus: a
+// slab arena, structural mutators above it, and an allow-marked lazy
+// path that must stop mutator propagation into the read surface. The
+// package defines no walAppend* functions, so nothing here is obligated
+// to log — its job is to export MutatorFact for walowner to import.
+package arenalib
+
+type node struct {
+	next *node
+	n    int
+}
+
+type arena struct {
+	slabs [][]node
+	free  []*node
+}
+
+func (a *arena) alloc() *node {
+	if len(a.free) > 0 {
+		nd := a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+		return nd
+	}
+	a.slabs = append(a.slabs, make([]node, 16))
+	return &a.slabs[len(a.slabs)-1][0]
+}
+
+func (a *arena) release(nd *node) {
+	a.free = append(a.free, nd)
+}
+
+// Tree is the arena-owning structure.
+type Tree struct {
+	ar   arena
+	root *node
+	n    int
+}
+
+// ensureRoot materializes the root lazily.
+//
+// walappend:allow deterministic at load, never logged
+func (t *Tree) ensureRoot() {
+	if t.root == nil {
+		t.root = t.ar.alloc()
+	}
+}
+
+// Search is a read path: ensureRoot's marker keeps it out of the mutator
+// set even though the first call can allocate the root.
+func (t *Tree) Search(k int) bool {
+	t.ensureRoot()
+	return t.root.n == k
+}
+
+// Crack allocates and rewires nodes: a structural mutator, exported, so
+// the fact travels to the WAL-owning package.
+func (t *Tree) Crack(k int) {
+	nd := t.ar.alloc()
+	nd.n = k
+	nd.next = t.root
+	t.root = nd
+	t.n++
+}
+
+// Delete releases a node back to the arena: also a mutator.
+func (t *Tree) Delete() {
+	if t.root != nil {
+		nd := t.root
+		t.root = nd.next
+		t.ar.release(nd)
+	}
+}

@@ -1,0 +1,84 @@
+// Package walowner is the core stand-in: it defines a walAppend* method,
+// which makes it the WAL-owning layer — every path here that (through
+// arenalib's imported MutatorFact) mutates tree structure owes a logged
+// append under a held write lock.
+package walowner
+
+import (
+	"sync"
+
+	"arenalib"
+)
+
+type store struct {
+	mu   sync.Mutex
+	recs []int
+	tree *arenalib.Tree
+}
+
+func (s *store) walAppendCrack(k int) {
+	s.recs = append(s.recs, k)
+}
+
+// ok: the mutation and its record are covered by the same write lock.
+func (s *store) Crack(k int) {
+	s.mu.Lock()
+	s.tree.Crack(k)
+	s.walAppendCrack(k)
+	s.mu.Unlock()
+}
+
+// ok: callers of a discharged function owe nothing further — the
+// mutation is already logged where it happens.
+func (s *store) CrackBoth(k int) {
+	s.Crack(k)
+	s.Crack(k + 1)
+}
+
+// bad: mutates (through the imported fact on Crack) without logging.
+func (s *store) CrackQuiet(k int) { // want `CrackQuiet mutates the index \(calls arenalib\.Tree\.Crack\) but never appends a WAL record`
+	s.mu.Lock()
+	s.tree.Crack(k)
+	s.mu.Unlock()
+}
+
+// crackLocked follows the *Locked convention: the caller holds the lock
+// and logs, so the obligation passes upward to every caller...
+func (s *store) crackLocked(k int) {
+	s.tree.Crack(k)
+}
+
+// ok: ...and this caller discharges it.
+func (s *store) CrackVia(k int) {
+	s.mu.Lock()
+	s.crackLocked(k)
+	s.walAppendCrack(k)
+	s.mu.Unlock()
+}
+
+// bad: this caller does not.
+func (s *store) CrackViaQuiet(k int) { // want `CrackViaQuiet mutates the index \(calls crackLocked\) but never appends a WAL record`
+	s.mu.Lock()
+	s.crackLocked(k)
+	s.mu.Unlock()
+}
+
+// replay re-applies records that are already in the log.
+//
+// walappend:allow replays already-durable records
+func (s *store) replay() {
+	for _, k := range s.recs {
+		s.tree.Crack(k)
+	}
+}
+
+// ok: an allow-marked callee stops the propagation.
+func (s *store) Reload() {
+	s.replay()
+}
+
+// bad: an append outside any lock does not discharge the obligation.
+func (s *store) CrackUnlocked(k int) { // want `CrackUnlocked mutates the index \(calls arenalib\.Tree\.Crack\) but never appends a WAL record`
+	s.tree.Crack(k)
+	s.walAppendCrack(k)
+}

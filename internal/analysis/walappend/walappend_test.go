@@ -1,0 +1,12 @@
+package walappend_test
+
+import (
+	"testing"
+
+	"vkgraph/internal/analysis/analysistest"
+	"vkgraph/internal/analysis/walappend"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", walappend.Analyzer, "arenalib", "walowner")
+}

@@ -245,6 +245,9 @@ func (e *Engine) initExec() {
 // bit-for-bit the pre-sharding engine; with more shards the initial points
 // are bucketed by Morton prefix and each bucket becomes an independent
 // cracking tree over the shared PointSet.
+//
+// walappend:allow — index construction precedes WAL arming: the freshly
+// built state is exactly what the next snapshot captures wholesale.
 func (e *Engine) buildIndex() {
 	n := e.params.Shards
 	e.router = rtree.NewShardRouter(e.ps, e.ps.N(), shardBits(n))

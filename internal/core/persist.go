@@ -152,6 +152,9 @@ func (e *Engine) saveLocked(w io.Writer, walGen uint64) error {
 // Damage confined to the index section does NOT fail the load: the graph
 // and model are intact, so the engine comes up with a freshly built cold
 // index and IndexRebuilt() reporting true.
+//
+// walappend:allow — loading reconstructs state the snapshot already made
+// durable; the WAL arms only after the load (and replay) completes.
 func LoadEngine(r io.Reader) (*Engine, error) {
 	version, _, err := snapfmt.ReadHeader(r, engineMagic, engineVersion)
 	if err != nil {
@@ -275,6 +278,9 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 // and one tree per shard. Any inconsistency (bad envelope, shard count not
 // matching the prefix length, per-shard blob damage) is reported as corrupt
 // so LoadEngine degrades to a cold rebuild.
+//
+// walappend:allow — decodes a snapshot's already-durable trees; runs
+// before the WAL arms.
 func decodeShardedIndex(payload []byte, ps *rtree.PointSet) (*rtree.ShardRouter, []*rtree.Tree, int64, error) {
 	var ws wireSharded
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ws); err != nil {

@@ -479,6 +479,7 @@ func (e *Engine) walAppendCrack(shard int, q rtree.Rect) {
 	if !e.wal.armed.Load() {
 		return
 	}
+	e.walcheckShardLocked(shard)
 	dim := len(q.Lo)
 	p := make([]byte, 4+16*dim)
 	binary.LittleEndian.PutUint32(p[0:4], uint32(shard))
@@ -495,6 +496,7 @@ func (e *Engine) walAppendAddFact(h kg.EntityID, r kg.RelationID, t kg.EntityID)
 	if !e.wal.armed.Load() {
 		return
 	}
+	e.walcheckEngineLocked("AddFact")
 	var p [12]byte
 	binary.LittleEndian.PutUint32(p[0:4], uint32(h))
 	binary.LittleEndian.PutUint32(p[4:8], uint32(r))
@@ -506,6 +508,7 @@ func (e *Engine) walAppendInsert(name, typ string, facts []Fact, attrNames []str
 	if !e.wal.armed.Load() {
 		return
 	}
+	e.walcheckEngineLocked("InsertEntity")
 	var b bytes.Buffer
 	if err := gob.NewEncoder(&b).Encode(walInsertRec{
 		Name: name, Typ: typ, Facts: facts,
@@ -524,6 +527,7 @@ func (e *Engine) walAppendSetAttr(name string, id kg.EntityID, v float64) {
 	if !e.wal.armed.Load() {
 		return
 	}
+	e.walcheckEngineLocked("SetAttr")
 	var b bytes.Buffer
 	if err := gob.NewEncoder(&b).Encode(walSetAttrRec{Name: name, ID: int32(id), Val: v}); err != nil {
 		e.wal.mu.Lock()
@@ -542,6 +546,9 @@ func (e *Engine) walAppendSetAttr(name string, id kg.EntityID, v float64) {
 // through the same *Locked mutation helpers as the live write paths, which
 // is what makes the replayed engine structurally identical to the one that
 // wrote the log.
+//
+// walappend:allow — replay applies records that are already in the log;
+// re-appending them would double every mutation on the next replay.
 func (e *Engine) applyWALRecord(rec walfmt.Record) error {
 	switch rec.Kind {
 	case walRecCrack:

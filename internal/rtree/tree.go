@@ -116,6 +116,11 @@ func NewCracking(ps *PointSet, opt Options) *Tree {
 }
 
 // ensureRoot materializes the root on first use.
+//
+// walappend:allow — lazy root materialization is deterministic from the
+// point set and happens identically on load, so it is never WAL-logged;
+// marking it here keeps Prepare and the read paths (Search, walks, Save)
+// out of the structural-mutator set.
 func (t *Tree) ensureRoot() {
 	if t.root != nil {
 		return

@@ -33,6 +33,19 @@ compare)
     base="${2:?usage: benchguard.sh compare <base.txt> <head.txt>}"
     head_="${3:?usage: benchguard.sh compare <base.txt> <head.txt>}"
     limit="${4:-10}"
+    # Distinguish "the comparison found a regression" (exit 1) from "the
+    # comparison never happened" (exit 2): a missing or malformed base file
+    # must not pass as an empty loop over zero sub-benchmarks.
+    for f in "$base" "$head_"; do
+        if [ ! -f "$f" ]; then
+            echo "benchguard: bench file '$f' does not exist — did the '$([ "$f" = "$base" ] && echo base || echo head)' run step fail or write elsewhere?" >&2
+            exit 2
+        fi
+        if [ ! -s "$f" ]; then
+            echo "benchguard: bench file '$f' is empty — the benchmark run produced no output" >&2
+            exit 2
+        fi
+    done
     # Emit "name allocs ns" per sub-benchmark from a raw go-test bench log.
     extract() {
         awk -v bench="$BENCH" '
@@ -45,6 +58,14 @@ compare)
                 if (allocs != "") print name, allocs, ns
             }' "$1"
     }
+    if [ -z "$(extract "$base")" ]; then
+        echo "benchguard: no $BENCH results with allocs/op found in base file '$base' — malformed bench log (was it run with -benchmem?)" >&2
+        exit 2
+    fi
+    if [ -z "$(extract "$head_")" ]; then
+        echo "benchguard: no $BENCH results with allocs/op found in head file '$head_' — malformed bench log (was it run with -benchmem?)" >&2
+        exit 2
+    fi
     fail=0
     while read -r name base_allocs base_ns; do
         line=$(extract "$head_" | awk -v n="$name" '$1 == n {print; exit}')
